@@ -1,0 +1,149 @@
+// Substrate micro-benchmarks (google-benchmark): SAT solving, grounding,
+// CNF construction, unit-propagation deduction, and max-clique.
+
+#include <benchmark/benchmark.h>
+
+#include "src/ccr.h"
+
+namespace {
+
+using namespace ccr;
+
+// Random 3-SAT near the easy side of the phase transition.
+sat::Cnf Random3Sat(int n_vars, double clause_ratio, uint64_t seed) {
+  Rng rng(seed);
+  sat::Cnf cnf;
+  cnf.EnsureVars(n_vars);
+  const int n_clauses = static_cast<int>(n_vars * clause_ratio);
+  for (int c = 0; c < n_clauses; ++c) {
+    sat::Lit lits[3];
+    for (auto& l : lits) {
+      l = sat::Lit(static_cast<sat::Var>(rng.Below(n_vars)),
+                   rng.Chance(0.5));
+    }
+    cnf.AddTernary(lits[0], lits[1], lits[2]);
+  }
+  return cnf;
+}
+
+void BM_SatRandom3Sat(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sat::Cnf cnf = Random3Sat(n, 3.5, 42);
+  for (auto _ : state) {
+    sat::Solver solver;
+    solver.AddCnf(cnf);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetItemsProcessed(state.iterations() * cnf.num_clauses());
+}
+BENCHMARK(BM_SatRandom3Sat)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_SatPigeonhole(benchmark::State& state) {
+  const int holes = static_cast<int>(state.range(0));
+  const int pigeons = holes + 1;
+  sat::Cnf cnf;
+  auto var = [&](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> clause;
+    for (int h = 0; h < holes; ++h) {
+      clause.push_back(sat::Lit::Pos(var(p, h)));
+    }
+    cnf.AddClause(std::span<const sat::Lit>(clause.data(), clause.size()));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddBinary(sat::Lit::Neg(var(p1, h)), sat::Lit::Neg(var(p2, h)));
+      }
+    }
+  }
+  for (auto _ : state) {
+    sat::Solver solver;
+    solver.AddCnf(cnf);
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(5)->Arg(6)->Arg(7);
+
+Dataset PersonForBench(int tuples) {
+  PersonOptions opts;
+  opts.num_entities = 1;
+  opts.min_tuples = tuples;
+  opts.max_tuples = tuples;
+  return GeneratePerson(opts);
+}
+
+void BM_Instantiation(benchmark::State& state) {
+  const Dataset ds = PersonForBench(static_cast<int>(state.range(0)));
+  const Specification se = ds.MakeSpec(0);
+  for (auto _ : state) {
+    auto inst = Instantiation::Build(se);
+    benchmark::DoNotOptimize(inst.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * se.instance().size());
+}
+BENCHMARK(BM_Instantiation)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_BuildCnf(benchmark::State& state) {
+  const Dataset ds = PersonForBench(static_cast<int>(state.range(0)));
+  const Specification se = ds.MakeSpec(0);
+  auto inst = Instantiation::Build(se);
+  for (auto _ : state) {
+    const sat::Cnf phi = BuildCnf(*inst);
+    benchmark::DoNotOptimize(phi.num_clauses());
+  }
+}
+BENCHMARK(BM_BuildCnf)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_DeduceOrder(benchmark::State& state) {
+  const Dataset ds = PersonForBench(static_cast<int>(state.range(0)));
+  const Specification se = ds.MakeSpec(0);
+  auto inst = Instantiation::Build(se);
+  const sat::Cnf phi = BuildCnf(*inst);
+  for (auto _ : state) {
+    const DeducedOrders od = DeduceOrder(*inst, phi);
+    benchmark::DoNotOptimize(od.CountPairs());
+  }
+  state.SetItemsProcessed(state.iterations() * phi.num_clauses());
+}
+BENCHMARK(BM_DeduceOrder)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_IsValidPerson(benchmark::State& state) {
+  const Dataset ds = PersonForBench(static_cast<int>(state.range(0)));
+  const Specification se = ds.MakeSpec(0);
+  auto inst = Instantiation::Build(se);
+  const sat::Cnf phi = BuildCnf(*inst);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsValidCnf(phi).valid);
+  }
+}
+BENCHMARK(BM_IsValidPerson)->Arg(50)->Arg(500)->Arg(5000);
+
+void BM_MaxClique(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  graph::Graph g(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      if (rng.Chance(0.5)) g.AddEdge(u, v);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::MaxClique(g).size());
+  }
+}
+BENCHMARK(BM_MaxClique)->Arg(20)->Arg(40)->Arg(60);
+
+void BM_PartialOrderClosure(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PartialOrder po(n);
+    for (int i = 0; i + 1 < n; ++i) {
+      benchmark::DoNotOptimize(po.Add(i, i + 1).ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_PartialOrderClosure)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace

@@ -1,0 +1,161 @@
+// Status / Result<T> error handling, in the style of Arrow and RocksDB.
+//
+// Recoverable errors in libccr never throw across public API boundaries;
+// every fallible operation returns a Status or a Result<T>. Programming
+// errors (violated preconditions) use CCR_DCHECK and abort in debug builds.
+
+#ifndef CCR_COMMON_STATUS_H_
+#define CCR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ccr {
+
+/// Broad machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kInvalidSpec,       // the entity specification is unsatisfiable/ill-formed
+  kNotFound,          // a named attribute/value does not exist
+  kResourceExhausted, // configured limit (conflicts, clauses, time) exceeded
+  kInternal,          // invariant violation that was caught gracefully
+};
+
+/// \brief Outcome of a fallible operation: OK, or a code plus message.
+///
+/// Statuses are cheap to copy when OK (no allocation) and carry a
+/// human-readable message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status InvalidSpec(std::string msg) {
+    return Status(StatusCode::kInvalidSpec, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kInvalidSpec: name = "InvalidSpec"; break;
+      case StatusCode::kNotFound: name = "NotFound"; break;
+      case StatusCode::kResourceExhausted: name = "ResourceExhausted"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief A value of type T or an error Status (Arrow-style Result).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+// Propagates a non-OK Status to the caller.
+#define CCR_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::ccr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+// Unwraps a Result<T> into `lhs`, propagating errors.
+#define CCR_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto CCR_CONCAT_(_res, __LINE__) = (rexpr);            \
+  if (!CCR_CONCAT_(_res, __LINE__).ok())                 \
+    return CCR_CONCAT_(_res, __LINE__).status();         \
+  lhs = std::move(CCR_CONCAT_(_res, __LINE__)).value()
+
+#define CCR_CONCAT_IMPL_(a, b) a##b
+#define CCR_CONCAT_(a, b) CCR_CONCAT_IMPL_(a, b)
+
+// Precondition checks for programming errors; active in all builds because
+// the cost is negligible relative to SAT solving.
+#define CCR_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::fprintf(stderr, "CCR_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                   \
+      std::abort();                                                    \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define CCR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define CCR_DCHECK(cond) CCR_CHECK(cond)
+#endif
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_STATUS_H_

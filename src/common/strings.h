@@ -1,0 +1,33 @@
+// Small string helpers shared by the constraint parser and printers.
+
+#ifndef CCR_COMMON_STRINGS_H_
+#define CCR_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccr {
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses a signed decimal integer; returns false on any non-numeric input.
+bool ParseInt64(std::string_view text, int64_t* out);
+
+/// Parses a floating point literal; returns false on any non-numeric input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_STRINGS_H_

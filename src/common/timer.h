@@ -1,0 +1,32 @@
+// Monotonic wall-clock timer used by the benchmark harnesses to reproduce
+// the paper's elapsed-time figures.
+
+#ifndef CCR_COMMON_TIMER_H_
+#define CCR_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace ccr {
+
+/// \brief Steady-clock stopwatch reporting elapsed milliseconds.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to zero.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed wall time since construction or last Restart, in milliseconds.
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_COMMON_TIMER_H_

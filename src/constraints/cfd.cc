@@ -1,0 +1,17 @@
+#include "src/constraints/cfd.h"
+
+namespace ccr {
+
+std::string ConstantCfd::ToString(const Schema& schema) const {
+  std::string out = "cfd (";
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += schema.name(lhs_[i].first) + "='" + lhs_[i].second.ToString() +
+           "'";
+  }
+  out += " -> " + schema.name(rhs_attr_) + "='" + rhs_value_.ToString() +
+         "')";
+  return out;
+}
+
+}  // namespace ccr

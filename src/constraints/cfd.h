@@ -1,0 +1,47 @@
+// Constant conditional functional dependencies tp[X] → tp[B] (§II-B).
+//
+// A constant CFD is interpreted on the *current tuple* LST of a completion:
+// if the most current X-values equal the pattern, the most current B-value
+// must be (is repaired to) the pattern's B-constant. Because they speak
+// about a single tuple, constant CFDs suffice here — general two-tuple CFDs
+// are not needed (§II-B, last remark).
+
+#ifndef CCR_CONSTRAINTS_CFD_H_
+#define CCR_CONSTRAINTS_CFD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/relational/schema.h"
+#include "src/relational/value.h"
+
+namespace ccr {
+
+/// \brief One constant CFD: conjunction of (attribute = constant) on the
+/// left implying (attribute = constant) on the right.
+class ConstantCfd {
+ public:
+  ConstantCfd() = default;
+  ConstantCfd(std::vector<std::pair<int, Value>> lhs, int rhs_attr,
+              Value rhs_value)
+      : lhs_(std::move(lhs)),
+        rhs_attr_(rhs_attr),
+        rhs_value_(std::move(rhs_value)) {}
+
+  const std::vector<std::pair<int, Value>>& lhs() const { return lhs_; }
+  int rhs_attr() const { return rhs_attr_; }
+  const Value& rhs_value() const { return rhs_value_; }
+
+  /// Renders e.g. "cfd (AC=213 -> city=LA)".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<std::pair<int, Value>> lhs_;
+  int rhs_attr_ = -1;
+  Value rhs_value_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CONSTRAINTS_CFD_H_

@@ -1,0 +1,42 @@
+#include "src/constraints/currency_constraint.h"
+
+namespace ccr {
+
+bool CurrencyConstraint::ComparisonsHold(const Tuple& t1,
+                                         const Tuple& t2) const {
+  for (const auto& p : cmp_preds_) {
+    if (!p.Eval(t1, t2)) return false;
+  }
+  for (const auto& p : const_preds_) {
+    if (!p.Eval(t1, t2)) return false;
+  }
+  return true;
+}
+
+std::string CurrencyConstraint::ToString(const Schema& schema) const {
+  std::string out = "forall t1,t2 (";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += " & ";
+    first = false;
+  };
+  for (const auto& p : order_preds_) {
+    sep();
+    out += "t1 < t2 @ " + schema.name(p.attr);
+  }
+  for (const auto& p : cmp_preds_) {
+    sep();
+    out += "t1[" + schema.name(p.attr) + "] " + CmpOpToString(p.op) +
+           " t2[" + schema.name(p.attr) + "]";
+  }
+  for (const auto& p : const_preds_) {
+    sep();
+    out += "t" + std::to_string(p.tuple_ref) + "[" + schema.name(p.attr) +
+           "] " + CmpOpToString(p.op) + " '" + p.constant.ToString() + "'";
+  }
+  if (first) out += "true";
+  out += " -> t1 < t2 @ " + schema.name(head_attr_) + ")";
+  return out;
+}
+
+}  // namespace ccr

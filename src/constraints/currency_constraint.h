@@ -1,0 +1,71 @@
+// Currency constraints ∀t1,t2 (ω → t1 ≺_Ar t2) (§II-A).
+//
+// Unlike the denial constraints of Fan/Geerts/Wijsen (PODS'11), currency
+// constraints are two-tuple rules in the style of functional dependencies;
+// the paper shows this restriction drops the complexity of the core
+// reasoning problems by one level of the polynomial hierarchy (§IV).
+
+#ifndef CCR_CONSTRAINTS_CURRENCY_CONSTRAINT_H_
+#define CCR_CONSTRAINTS_CURRENCY_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraints/predicate.h"
+#include "src/relational/schema.h"
+
+namespace ccr {
+
+/// \brief One currency constraint: body predicates over (t1, t2) implying
+/// t1 ≺_head_attr t2.
+class CurrencyConstraint {
+ public:
+  CurrencyConstraint() = default;
+  explicit CurrencyConstraint(int head_attr) : head_attr_(head_attr) {}
+
+  int head_attr() const { return head_attr_; }
+  void set_head_attr(int attr) { head_attr_ = attr; }
+
+  void AddOrder(int attr) { order_preds_.push_back({attr}); }
+  void AddAttrCompare(int attr, CmpOp op) {
+    cmp_preds_.push_back({attr, op});
+  }
+  void AddConstCompare(int tuple_ref, int attr, CmpOp op, Value constant) {
+    const_preds_.push_back({tuple_ref, attr, op, std::move(constant)});
+  }
+
+  const std::vector<OrderPredicate>& order_predicates() const {
+    return order_preds_;
+  }
+  const std::vector<AttrComparePredicate>& compare_predicates() const {
+    return cmp_preds_;
+  }
+  const std::vector<ConstComparePredicate>& constant_predicates() const {
+    return const_preds_;
+  }
+
+  /// True if the body contains no order predicates: the constraint can be
+  /// evaluated on values alone. The favored Pick baseline of §VI uses only
+  /// such constraints.
+  bool IsComparisonOnly() const { return order_preds_.empty(); }
+
+  /// Evaluates the comparison part of ω on a concrete tuple pair: all
+  /// AttrCompare and ConstCompare conjuncts. Order predicates are *not*
+  /// evaluated here — grounding turns them into Boolean atoms (§V-A).
+  bool ComparisonsHold(const Tuple& t1, const Tuple& t2) const;
+
+  /// Renders the constraint like the paper, e.g.
+  /// "forall t1,t2 (t1[status]='working' & t2[status]='retired' ->
+  ///   t1 < t2 @ status)".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  int head_attr_ = -1;
+  std::vector<OrderPredicate> order_preds_;
+  std::vector<AttrComparePredicate> cmp_preds_;
+  std::vector<ConstComparePredicate> const_preds_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CONSTRAINTS_CURRENCY_CONSTRAINT_H_

@@ -1,0 +1,166 @@
+#include "src/constraints/parser.h"
+
+#include <string>
+
+#include "src/common/strings.h"
+
+namespace ccr {
+
+namespace {
+
+// Splits "lhs -> rhs" on the last "->"; fails if absent.
+Status SplitArrow(std::string_view text, std::string_view* lhs,
+                  std::string_view* rhs) {
+  size_t pos = text.rfind("->");
+  if (pos == std::string_view::npos) {
+    return Status::InvalidArgument("missing '->' in constraint: " +
+                                   std::string(text));
+  }
+  *lhs = StripWhitespace(text.substr(0, pos));
+  *rhs = StripWhitespace(text.substr(pos + 2));
+  return Status::OK();
+}
+
+// Finds the comparison operator in `text`, longest match first, outside of
+// quotes. Returns npos if none.
+size_t FindOp(std::string_view text, CmpOp* op, size_t* op_len) {
+  bool in_quote = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\'') in_quote = !in_quote;
+    if (in_quote) continue;
+    auto two = text.substr(i, 2);
+    if (two == "!=") { *op = CmpOp::kNe; *op_len = 2; return i; }
+    if (two == "<=") { *op = CmpOp::kLe; *op_len = 2; return i; }
+    if (two == ">=") { *op = CmpOp::kGe; *op_len = 2; return i; }
+    if (c == '=') { *op = CmpOp::kEq; *op_len = 1; return i; }
+    if (c == '<') { *op = CmpOp::kLt; *op_len = 1; return i; }
+    if (c == '>') { *op = CmpOp::kGt; *op_len = 1; return i; }
+  }
+  return std::string_view::npos;
+}
+
+// Parses "tN[attr]"; returns tuple_ref (1 or 2) and attr index, or
+// tuple_ref 0 if `text` is not of this shape.
+Status ParseTupleRef(const Schema& schema, std::string_view text,
+                     int* tuple_ref, int* attr) {
+  text = StripWhitespace(text);
+  *tuple_ref = 0;
+  if (text.size() < 4 || text[0] != 't') return Status::OK();
+  if (text[1] != '1' && text[1] != '2') return Status::OK();
+  if (text[2] != '[' || text.back() != ']') return Status::OK();
+  std::string name(StripWhitespace(text.substr(3, text.size() - 4)));
+  CCR_ASSIGN_OR_RETURN(*attr, schema.Require(name));
+  *tuple_ref = text[1] - '0';
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Value> ParseValueLiteral(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text == "null") return Value::Null();
+  if (text.size() >= 2 && text.front() == '\'' && text.back() == '\'') {
+    return Value::Str(std::string(text.substr(1, text.size() - 2)));
+  }
+  int64_t i = 0;
+  if (ParseInt64(text, &i)) return Value::Int(i);
+  double d = 0;
+  if (ParseDouble(text, &d)) return Value::Real(d);
+  return Status::InvalidArgument("cannot parse literal: " +
+                                 std::string(text));
+}
+
+Result<CurrencyConstraint> ParseCurrencyConstraint(const Schema& schema,
+                                                   std::string_view text) {
+  std::string_view body_text;
+  std::string_view head_text;
+  CCR_RETURN_NOT_OK(SplitArrow(text, &body_text, &head_text));
+
+  CurrencyConstraint out;
+  CCR_ASSIGN_OR_RETURN(int head_attr,
+                       schema.Require(std::string(head_text)));
+  out.set_head_attr(head_attr);
+
+  if (StripWhitespace(body_text) == "true" || body_text.empty()) return out;
+
+  for (const std::string& raw : Split(body_text, '&')) {
+    std::string_view conj = StripWhitespace(raw);
+    if (conj.empty()) continue;
+    // prec(attr)
+    if (StartsWith(conj, "prec(") && conj.back() == ')') {
+      std::string name(
+          StripWhitespace(conj.substr(5, conj.size() - 6)));
+      CCR_ASSIGN_OR_RETURN(int attr, schema.Require(name));
+      out.AddOrder(attr);
+      continue;
+    }
+    CmpOp op;
+    size_t op_len = 0;
+    size_t op_pos = FindOp(conj, &op, &op_len);
+    if (op_pos == std::string_view::npos) {
+      return Status::InvalidArgument("no operator in conjunct: " +
+                                     std::string(conj));
+    }
+    std::string_view lhs = StripWhitespace(conj.substr(0, op_pos));
+    std::string_view rhs = StripWhitespace(conj.substr(op_pos + op_len));
+
+    int l_ref = 0, l_attr = -1;
+    CCR_RETURN_NOT_OK(ParseTupleRef(schema, lhs, &l_ref, &l_attr));
+    if (l_ref == 0) {
+      return Status::InvalidArgument(
+          "left side of a currency conjunct must be t1[..] or t2[..]: " +
+          std::string(conj));
+    }
+    int r_ref = 0, r_attr = -1;
+    CCR_RETURN_NOT_OK(ParseTupleRef(schema, rhs, &r_ref, &r_attr));
+    if (r_ref != 0) {
+      // two-tuple comparison: must be t1 op t2 on the same attribute
+      if (l_ref != 1 || r_ref != 2 || l_attr != r_attr) {
+        return Status::InvalidArgument(
+            "two-tuple comparison must be t1[A] op t2[A]: " +
+            std::string(conj));
+      }
+      out.AddAttrCompare(l_attr, op);
+    } else {
+      CCR_ASSIGN_OR_RETURN(Value c, ParseValueLiteral(rhs));
+      out.AddConstCompare(l_ref, l_attr, op, std::move(c));
+    }
+  }
+  return out;
+}
+
+Result<ConstantCfd> ParseCfd(const Schema& schema, std::string_view text) {
+  std::string_view lhs_text;
+  std::string_view rhs_text;
+  CCR_RETURN_NOT_OK(SplitArrow(text, &lhs_text, &rhs_text));
+
+  auto parse_eq = [&](std::string_view part,
+                      std::pair<int, Value>* out) -> Status {
+    CmpOp op;
+    size_t op_len = 0;
+    size_t op_pos = FindOp(part, &op, &op_len);
+    if (op_pos == std::string_view::npos || op != CmpOp::kEq) {
+      return Status::InvalidArgument("CFD parts must be attr = literal: " +
+                                     std::string(part));
+    }
+    std::string name(StripWhitespace(part.substr(0, op_pos)));
+    CCR_ASSIGN_OR_RETURN(int attr, schema.Require(name));
+    CCR_ASSIGN_OR_RETURN(Value v,
+                         ParseValueLiteral(part.substr(op_pos + op_len)));
+    *out = {attr, std::move(v)};
+    return Status::OK();
+  };
+
+  std::vector<std::pair<int, Value>> lhs;
+  for (const std::string& raw : Split(lhs_text, '&')) {
+    std::pair<int, Value> item;
+    CCR_RETURN_NOT_OK(parse_eq(StripWhitespace(raw), &item));
+    lhs.push_back(std::move(item));
+  }
+  std::pair<int, Value> rhs;
+  CCR_RETURN_NOT_OK(parse_eq(rhs_text, &rhs));
+  return ConstantCfd(std::move(lhs), rhs.first, std::move(rhs.second));
+}
+
+}  // namespace ccr

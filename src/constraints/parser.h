@@ -1,0 +1,44 @@
+// Textual format for currency constraints and constant CFDs, so examples
+// and tests can state constraints the way the paper writes them (Fig. 3).
+//
+// Currency constraints:  `<conjunct> & ... & <conjunct> -> <attr>`
+//   conjuncts:
+//     prec(<attr>)                      t1 ≺_attr t2
+//     t1[<attr>] <op> t2[<attr>]        two-tuple comparison (same attr)
+//     t1[<attr>] <op> <literal>         constant comparison on t1
+//     t2[<attr>] <op> <literal>         constant comparison on t2
+//   and the head <attr> denotes t1 ≺_attr t2.
+//
+// Constant CFDs:  `<attr> = <literal> & ... -> <attr> = <literal>`
+//
+// Literals: 'single quoted strings', bare integers (42), bare reals (4.2),
+// and the keyword null. Operators: = != < <= > >=.
+//
+// Example (ϕ1 and ψ1 of Fig. 3):
+//   t1[status] = 'working' & t2[status] = 'retired' -> status
+//   AC = '213' -> city = 'LA'
+
+#ifndef CCR_CONSTRAINTS_PARSER_H_
+#define CCR_CONSTRAINTS_PARSER_H_
+
+#include <string_view>
+
+#include "src/constraints/cfd.h"
+#include "src/constraints/currency_constraint.h"
+#include "src/relational/schema.h"
+
+namespace ccr {
+
+/// Parses one currency constraint; attribute names resolve via `schema`.
+Result<CurrencyConstraint> ParseCurrencyConstraint(const Schema& schema,
+                                                   std::string_view text);
+
+/// Parses one constant CFD.
+Result<ConstantCfd> ParseCfd(const Schema& schema, std::string_view text);
+
+/// Parses a literal: quoted string, number, or null.
+Result<Value> ParseValueLiteral(std::string_view text);
+
+}  // namespace ccr
+
+#endif  // CCR_CONSTRAINTS_PARSER_H_

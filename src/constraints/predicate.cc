@@ -1,0 +1,29 @@
+#include "src/constraints/predicate.h"
+
+namespace ccr {
+
+bool EvalCmp(CmpOp op, const Value& a, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq: return a == b;
+    case CmpOp::kNe: return !(a == b);
+    case CmpOp::kLt: return a.Compare(b) < 0;
+    case CmpOp::kLe: return a.Compare(b) <= 0;
+    case CmpOp::kGt: return a.Compare(b) > 0;
+    case CmpOp::kGe: return a.Compare(b) >= 0;
+  }
+  return false;
+}
+
+std::string CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+}  // namespace ccr

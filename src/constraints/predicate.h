@@ -1,0 +1,61 @@
+// Predicates appearing in the body ω of currency constraints (§II-A).
+//
+// ω is a conjunction of:
+//   (1) t1 ≺_Al t2              — an order predicate;
+//   (2) t1[Al] op t2[Al]         — a two-tuple comparison;
+//   (3) ti[Al] op c, i ∈ {1,2}   — a tuple/constant comparison,
+// with op one of =, !=, <, <=, >, >=.
+
+#ifndef CCR_CONSTRAINTS_PREDICATE_H_
+#define CCR_CONSTRAINTS_PREDICATE_H_
+
+#include <string>
+
+#include "src/relational/schema.h"
+#include "src/relational/tuple.h"
+#include "src/relational/value.h"
+
+namespace ccr {
+
+/// Comparison operator of a predicate.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluates `a op b` under the library-wide total order on values
+/// (null < numbers < strings; see Value::Compare).
+bool EvalCmp(CmpOp op, const Value& a, const Value& b);
+
+/// Renders "=", "!=", "<", "<=", ">", ">=".
+std::string CmpOpToString(CmpOp op);
+
+/// \brief Order predicate t1 ≺_attr t2.
+struct OrderPredicate {
+  int attr = -1;
+};
+
+/// \brief Two-tuple comparison t1[attr] op t2[attr].
+struct AttrComparePredicate {
+  int attr = -1;
+  CmpOp op = CmpOp::kEq;
+
+  bool Eval(const Tuple& t1, const Tuple& t2) const {
+    return EvalCmp(op, t1.at(attr), t2.at(attr));
+  }
+};
+
+/// \brief Tuple/constant comparison t{tuple_ref}[attr] op constant,
+/// with tuple_ref 1 or 2.
+struct ConstComparePredicate {
+  int tuple_ref = 1;  // 1 or 2
+  int attr = -1;
+  CmpOp op = CmpOp::kEq;
+  Value constant;
+
+  bool Eval(const Tuple& t1, const Tuple& t2) const {
+    const Tuple& t = (tuple_ref == 1) ? t1 : t2;
+    return EvalCmp(op, t.at(attr), constant);
+  }
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CONSTRAINTS_PREDICATE_H_

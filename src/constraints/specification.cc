@@ -1,0 +1,23 @@
+#include "src/constraints/specification.h"
+
+namespace ccr {
+
+std::string Specification::ToString() const {
+  std::string out = instance().ToString();
+  out += "currency orders: " + std::to_string(temporal.TotalOrderPairs()) +
+         " pairs\n";
+  for (const auto& c : sigma) out += "  " + c.ToString(schema()) + "\n";
+  for (const auto& c : gamma) out += "  " + c.ToString(schema()) + "\n";
+  return out;
+}
+
+Result<Specification> Extend(const Specification& base,
+                             const PartialTemporalOrder& delta) {
+  Specification out;
+  CCR_ASSIGN_OR_RETURN(out.temporal, Extend(base.temporal, delta));
+  out.sigma = base.sigma;
+  out.gamma = base.gamma;
+  return out;
+}
+
+}  // namespace ccr

@@ -1,0 +1,37 @@
+// Entity specifications Se = (It, Σ, Γ) — the input to conflict resolution
+// (§II-C) — and the extension Se ⊕ Ot.
+
+#ifndef CCR_CONSTRAINTS_SPECIFICATION_H_
+#define CCR_CONSTRAINTS_SPECIFICATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraints/cfd.h"
+#include "src/constraints/currency_constraint.h"
+#include "src/order/temporal_instance.h"
+
+namespace ccr {
+
+/// \brief A temporal instance plus currency constraints Σ and constant
+/// CFDs Γ. Se is *valid* if some completion of its currency orders
+/// satisfies both Σ and Γ (decided by IsValid, §V-A).
+struct Specification {
+  TemporalInstance temporal;            // It = (Ie, ⪯A1, ..., ⪯An)
+  std::vector<CurrencyConstraint> sigma;  // Σ
+  std::vector<ConstantCfd> gamma;         // Γ
+
+  const Schema& schema() const { return temporal.schema(); }
+  const EntityInstance& instance() const { return temporal.instance(); }
+
+  /// Renders a human-readable summary (sizes plus constraints).
+  std::string ToString() const;
+};
+
+/// Computes Se ⊕ Ot: same constraints, extended temporal instance (§II-C).
+Result<Specification> Extend(const Specification& base,
+                             const PartialTemporalOrder& delta);
+
+}  // namespace ccr
+
+#endif  // CCR_CONSTRAINTS_SPECIFICATION_H_

@@ -1,0 +1,161 @@
+#include "src/core/deduce.h"
+
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+int DeducedOrders::CountPairs() const {
+  int total = 0;
+  for (const PartialOrder& po : per_attr) total += po.CountPairs();
+  return total;
+}
+
+namespace {
+
+DeducedOrders MakeEmptyOrders(const VarMap& vm) {
+  DeducedOrders od;
+  od.per_attr.reserve(vm.num_attrs());
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    od.per_attr.emplace_back(static_cast<int>(vm.domain(a).size()));
+  }
+  return od;
+}
+
+// Records a deduced literal into Od. Positive x_{a1 a2} adds a1 ≺ a2;
+// negative adds the reversed order when `paper_mode` is on (Fig. 5,
+// lines 6–7). Insertion failures (cycles, possible only on invalid
+// specifications) are ignored — Od remains a partial order.
+void RecordLiteral(const VarMap& vm, sat::Lit lit, bool paper_mode,
+                   DeducedOrders* od) {
+  const OrderAtom atom = vm.Decode(lit.var());
+  if (!lit.negated()) {
+    (void)od->per_attr[atom.attr].Add(atom.less, atom.more);
+  } else if (paper_mode) {
+    (void)od->per_attr[atom.attr].Add(atom.more, atom.less);
+  }
+}
+
+}  // namespace
+
+DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
+                          const DeduceOptions& options) {
+  const VarMap& vm = inst.varmap;
+  DeducedOrders od = MakeEmptyOrders(vm);
+
+  const int n_vars = phi.num_vars();
+  const int n_clauses = phi.num_clauses();
+
+  // Counter-based unit propagation: per clause, the number of non-false
+  // literals and a satisfied flag; per literal, its occurrence list.
+  std::vector<int32_t> open_count(n_clauses);
+  std::vector<uint8_t> satisfied(n_clauses, 0);
+  std::vector<std::vector<int32_t>> occur(2 * n_vars);
+  std::vector<sat::Lbool> value(n_vars, sat::Lbool::kUndef);
+  std::vector<sat::Lit> queue;
+
+  for (int c = 0; c < n_clauses; ++c) {
+    auto lits = phi.clause(c);
+    open_count[c] = static_cast<int32_t>(lits.size());
+    for (sat::Lit l : lits) occur[l.index()].push_back(c);
+    if (lits.size() == 1) queue.push_back(lits[0]);
+    // Empty clause: Se invalid; DeduceOrder is only called on valid
+    // specifications, but stay graceful and simply deduce nothing from it.
+  }
+
+  size_t head = 0;
+  while (head < queue.size()) {
+    const sat::Lit l = queue[head++];
+    const sat::Lbool prior = value[l.var()];
+    if (prior != sat::Lbool::kUndef) continue;  // already propagated
+    value[l.var()] = l.negated() ? sat::Lbool::kFalse : sat::Lbool::kTrue;
+    RecordLiteral(vm, l, options.paper_negative_units, &od);
+
+    // Totality: ¬(a1 ≺ a2) entails a2 ≺ a1 in every completion; assert
+    // the reversed atom so contrapositive chains keep propagating.
+    if (l.negated() && options.paper_negative_units &&
+        options.totality_propagation) {
+      const OrderAtom atom = vm.Decode(l.var());
+      queue.push_back(
+          sat::Lit::Pos(vm.VarOf(atom.attr, atom.more, atom.less)));
+    }
+
+    // Clauses containing l are satisfied.
+    for (int32_t c : occur[l.index()]) satisfied[c] = 1;
+    // Clauses containing ¬l lose a literal; new units enter the queue.
+    for (int32_t c : occur[(~l).index()]) {
+      if (satisfied[c]) continue;
+      if (--open_count[c] == 1) {
+        for (sat::Lit cand : phi.clause(c)) {
+          if (value[cand.var()] == sat::Lbool::kUndef) {
+            queue.push_back(cand);
+            break;
+          }
+        }
+      }
+      // open_count 0 means a conflict: the specification was invalid.
+      // Nothing further can be soundly deduced from this clause.
+    }
+  }
+  return od;
+}
+
+DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
+                          const sat::SolverOptions& options) {
+  const VarMap& vm = inst.varmap;
+  DeducedOrders od = MakeEmptyOrders(vm);
+
+  sat::Solver solver(options);
+  solver.AddCnf(phi);
+  if (solver.Solve() != sat::SolveResult::kSat) return od;  // invalid Se
+
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    const int d = static_cast<int>(vm.domain(a).size());
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        if (i == j) continue;
+        if (od.per_attr[a].Less(i, j)) continue;  // already implied
+        const sat::Var x = vm.VarOf(a, i, j);
+        // Lemma 6: Se |= (i ≺ j) iff Φ(Se) ∧ ¬x is unsatisfiable.
+        const auto r =
+            solver.SolveWithAssumptions({sat::Lit::Neg(x)});
+        if (r == sat::SolveResult::kUnsat && !solver.IsUnsatForever()) {
+          (void)od.per_attr[a].Add(i, j);
+        }
+      }
+    }
+  }
+  return od;
+}
+
+std::vector<int> ExtractTrueValueIndices(const VarMap& vm,
+                                         const DeducedOrders& od) {
+  std::vector<int> out(vm.num_attrs(), -1);
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    const int d = static_cast<int>(vm.domain(a).size());
+    if (d == 0) continue;  // only nulls: no true value derivable
+    if (d == 1) {
+      out[a] = 0;  // unique value dominates vacuously
+      continue;
+    }
+    for (int v = 0; v < d; ++v) {
+      if (od.per_attr[a].DominatesAll(v)) {
+        out[a] = v;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<int>> CandidateValues(const VarMap& vm,
+                                              const DeducedOrders& od) {
+  std::vector<std::vector<int>> out(vm.num_attrs());
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    out[a] = od.per_attr[a].Maximal();
+  }
+  return out;
+}
+
+}  // namespace ccr

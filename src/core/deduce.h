@@ -1,0 +1,73 @@
+// True-value deduction (§V-B): DeduceOrder (Fig. 5) and NaiveDeduce.
+//
+// DeduceOrder runs unit propagation over Φ(Se): every one-literal clause
+// is recorded into the deduced temporal order Od and used to reduce the
+// formula, in O(|Φ(Se)|) total time. NaiveDeduce instead asks the SAT
+// solver, for every order variable x, whether Φ(Se) ∧ ¬x is unsatisfiable
+// — sound and complete for implied orders (Lemma 6) but orders of
+// magnitude slower (Fig. 8(b)).
+
+#ifndef CCR_CORE_DEDUCE_H_
+#define CCR_CORE_DEDUCE_H_
+
+#include <vector>
+
+#include "src/encode/instantiation.h"
+#include "src/order/partial_order.h"
+#include "src/sat/cnf.h"
+#include "src/sat/solver.h"
+
+namespace ccr {
+
+/// \brief Od: one deduced strict partial order per attribute, over indices
+/// into the VarMap's domains.
+struct DeducedOrders {
+  std::vector<PartialOrder> per_attr;
+
+  /// Total deduced pairs (|Od|), including transitive consequences.
+  int CountPairs() const;
+};
+
+/// DeduceOrder knobs.
+struct DeduceOptions {
+  /// Fig. 5 lines 6–7: a negative unit ¬x_{a1 a2} adds the *reversed*
+  /// order a2 ≺ a1 to Od. Sound under completion semantics: completions
+  /// totally order the tuples, so for distinct values ¬(a1 ≺ a2) entails
+  /// a2 ≺ a1. With the flag off, negative units only reduce the formula
+  /// (strict mode — Od then contains positive units only).
+  bool paper_negative_units = true;
+  /// Feed the reversed order of a negative unit back into propagation as
+  /// a true literal (the paper's Fig. 5 records it in Od but does not
+  /// propagate it). Justified by the same totality argument; it lets
+  /// contrapositive inferences (e.g. a job order implying a status order
+  /// through ϕ5) fire the downstream rules in the same pass. Requires
+  /// paper_negative_units.
+  bool totality_propagation = true;
+};
+
+/// Algorithm DeduceOrder (Fig. 5): unit propagation over `phi`.
+/// `phi` must be the CNF built from `inst` (variable ids must agree).
+DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
+                          const DeduceOptions& options = {});
+
+/// NaiveDeduce: one SAT call per order variable (incremental solver with
+/// one assumption per call). Exact per Lemma 6.
+DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
+                          const sat::SolverOptions& options = {});
+
+/// True-value extraction (§V-B): value v is the true value of attribute A
+/// iff it dominates every other domain value of A in Od. Returns one
+/// domain index per attribute, or -1 when the true value is not derivable
+/// (including attributes whose domain is empty).
+std::vector<int> ExtractTrueValueIndices(const VarMap& vm,
+                                         const DeducedOrders& od);
+
+/// DeriveVR (§V-C): candidate true values V(A) — domain values of A not
+/// dominated by any other value in Od. Computed for every attribute;
+/// callers skip attributes whose true value is known.
+std::vector<std::vector<int>> CandidateValues(const VarMap& vm,
+                                              const DeducedOrders& od);
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_DEDUCE_H_

@@ -1,0 +1,202 @@
+#include "src/core/derivation.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+std::string DerivationRule::ToString(const VarMap& vm,
+                                     const Schema& schema) const {
+  std::string out = "({";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.name(lhs[i].first) + "=" +
+           vm.domain(lhs[i].first)[lhs[i].second].ToString();
+  }
+  out += "}) -> (" + schema.name(rhs_attr) + ", " +
+         vm.domain(rhs_attr)[rhs_value].ToString() + ")";
+  return out;
+}
+
+namespace {
+
+// True if value index `v` for `attr` is admissible as an assumed true
+// value: it matches the known true value if one exists, else it must be a
+// candidate (non-dominated) value.
+bool Admissible(const std::vector<std::vector<int>>& candidates,
+                const std::vector<int>& known_true, int attr, int v) {
+  if (known_true[attr] >= 0) return known_true[attr] == v;
+  const auto& cands = candidates[attr];
+  return std::find(cands.begin(), cands.end(), v) != cands.end();
+}
+
+}  // namespace
+
+std::vector<DerivationRule> TrueDer(
+    const Instantiation& inst,
+    const std::vector<std::vector<int>>& candidates,
+    const std::vector<int>& known_true) {
+  const VarMap& vm = inst.varmap;
+  std::vector<DerivationRule> rules;
+
+  // (1) Rules from applicable constant CFDs: (X, tp[X]) -> (B, tp[B]),
+  // provided the pattern does not clash with validated values and its
+  // premises are admissible. The pattern is reconstructed from the CFD's
+  // ground constraints so tests can cross-check rule origins against
+  // Ω(Se).
+  {
+    std::vector<bool> done;  // per gamma index
+    for (const GroundConstraint& gc : inst.constraints) {
+      if (gc.source != GroundSource::kCfd) continue;
+      if (static_cast<size_t>(gc.source_index) >= done.size()) {
+        done.resize(gc.source_index + 1, false);
+      }
+      if (done[gc.source_index]) continue;
+      done[gc.source_index] = true;
+
+      // Reconstruct the pattern from the body: each LHS attribute Aj has
+      // domination atoms (other ≺ cj); head is (b ≺ tp[B]).
+      std::map<int, int> pattern;  // attr -> pattern value index
+      bool ok = true;
+      for (const OrderAtom& atom : gc.body) {
+        auto [it, inserted] = pattern.emplace(atom.attr, atom.more);
+        if (!inserted && it->second != atom.more) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      const int rhs_attr = gc.head.attr;
+      const int rhs_value = gc.head.more;
+      if (known_true[rhs_attr] >= 0) continue;  // already settled
+      if (!Admissible(candidates, known_true, rhs_attr, rhs_value)) {
+        continue;
+      }
+      DerivationRule rule;
+      rule.origin = GroundSource::kCfd;
+      rule.source_index = gc.source_index;
+      rule.rhs_attr = rhs_attr;
+      rule.rhs_value = rhs_value;
+      for (const auto& [attr, v] : pattern) {
+        if (!Admissible(candidates, known_true, attr, v)) {
+          ok = false;
+          break;
+        }
+        rule.lhs.emplace_back(attr, v);
+      }
+      if (!ok) continue;
+      rules.push_back(std::move(rule));
+    }
+  }
+
+  // (2) Rules from currency-constraint instance constraints. Index Ω by
+  // head atom, then for each unknown attribute B and candidate b, cover
+  // every competing candidate bi with a constraint of head (bi ≺ b),
+  // accumulating a consistent premise instantiation P[X].
+  std::unordered_map<int64_t, std::vector<const GroundConstraint*>> by_head;
+  auto head_key = [&vm](const OrderAtom& atom) {
+    const int d = static_cast<int>(vm.domain(atom.attr).size());
+    return (static_cast<int64_t>(atom.attr) << 32) |
+           static_cast<int64_t>(atom.less * d + atom.more);
+  };
+  for (const GroundConstraint& gc : inst.constraints) {
+    if (gc.source != GroundSource::kCurrencyConstraint) continue;
+    if (gc.head_kind != GroundHead::kAtom) continue;
+    if (gc.body.empty()) continue;  // unconditional: already in Od
+    by_head[head_key(gc.head)].push_back(&gc);
+  }
+
+  for (int b_attr = 0; b_attr < vm.num_attrs(); ++b_attr) {
+    if (known_true[b_attr] >= 0) continue;
+    for (int b : candidates[b_attr]) {
+      std::map<int, int> premises;  // attr -> assumed true value index
+      bool rule_ok = true;
+      for (int bi : candidates[b_attr]) {
+        if (bi == b) continue;
+        // Find a compatible constraint with head (bi ≺ b).
+        auto it = by_head.find(head_key(OrderAtom{b_attr, bi, b}));
+        bool covered = false;
+        if (it != by_head.end()) {
+          for (const GroundConstraint* gc : it->second) {
+            // Tentatively merge this constraint's premises.
+            std::map<int, int> trial = premises;
+            bool compatible = true;
+            for (const OrderAtom& atom : gc->body) {
+              const int attr = atom.attr;
+              const int assumed = atom.more;  // "more" value acts as true
+              if (attr == b_attr && assumed != b) {
+                compatible = false;
+                break;
+              }
+              if (!Admissible(candidates, known_true, attr, assumed)) {
+                compatible = false;
+                break;
+              }
+              auto [t_it, inserted] = trial.emplace(attr, assumed);
+              if (!inserted && t_it->second != assumed) {
+                compatible = false;
+                break;
+              }
+            }
+            if (compatible) {
+              premises = std::move(trial);
+              covered = true;
+              break;
+            }
+          }
+        }
+        if (!covered) {
+          rule_ok = false;
+          break;
+        }
+      }
+      if (!rule_ok) continue;
+      if (candidates[b_attr].size() <= 1) continue;  // nothing to derive
+      DerivationRule rule;
+      rule.origin = GroundSource::kCurrencyConstraint;
+      rule.rhs_attr = b_attr;
+      rule.rhs_value = b;
+      for (const auto& [attr, v] : premises) {
+        if (attr == b_attr) continue;  // consequent carries it
+        rule.lhs.emplace_back(attr, v);
+      }
+      if (rule.lhs.empty()) continue;  // would already be in Od
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+graph::Graph CompGraph(const std::vector<DerivationRule>& rules) {
+  const int n = static_cast<int>(rules.size());
+  graph::Graph g(n);
+  // Attribute→value map per rule (premises plus consequent).
+  std::vector<std::map<int, int>> maps(n);
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [attr, v] : rules[i].lhs) maps[i][attr] = v;
+    maps[i][rules[i].rhs_attr] = rules[i].rhs_value;
+  }
+  for (int x = 0; x < n; ++x) {
+    for (int y = x + 1; y < n; ++y) {
+      if (rules[x].rhs_attr == rules[y].rhs_attr) continue;
+      bool agree = true;
+      // Walk the smaller map, probe the larger.
+      const auto& small = maps[x].size() <= maps[y].size() ? maps[x] : maps[y];
+      const auto& large = maps[x].size() <= maps[y].size() ? maps[y] : maps[x];
+      for (const auto& [attr, v] : small) {
+        auto it = large.find(attr);
+        if (it != large.end() && it->second != v) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree) g.AddEdge(x, y);
+    }
+  }
+  return g;
+}
+
+}  // namespace ccr

@@ -1,0 +1,81 @@
+#include "src/core/implication.h"
+
+#include "src/core/isvalid.h"
+#include "src/encode/cnf_builder.h"
+
+namespace ccr {
+
+Result<ImplicationResult> Implies(const Specification& se,
+                                  const PartialTemporalOrder& ot,
+                                  const sat::SolverOptions& options) {
+  if (!ot.new_tuples.empty()) {
+    return Status::InvalidArgument(
+        "implication is defined over Se's own tuples; Ot may not "
+        "introduce new ones");
+  }
+  CCR_ASSIGN_OR_RETURN(Instantiation inst, Instantiation::Build(se));
+  const VarMap& vm = inst.varmap;
+  const EntityInstance& ie = se.instance();
+
+  sat::Solver solver(options);
+  solver.AddCnf(BuildCnf(inst));
+  if (solver.Solve() != sat::SolveResult::kSat) {
+    return Status::InvalidSpec("Se is invalid; implication is vacuous");
+  }
+
+  ImplicationResult result;
+  for (const auto& [attr, t_less, t_more] : ot.orders) {
+    if (attr < 0 || attr >= se.schema().size() || t_less < 0 ||
+        t_more < 0 || t_less >= ie.size() || t_more >= ie.size()) {
+      return Status::InvalidArgument("order pair out of range");
+    }
+    const Value& lv = ie.tuple(t_less).at(attr);
+    const Value& mv = ie.tuple(t_more).at(attr);
+    // Tuple-level trivia: equal values satisfy ⪯ outright; a null on the
+    // less-current side ranks lowest anyway; a null on the more-current
+    // side can never be strictly more current than a value.
+    if (lv == mv || lv.is_null()) continue;
+    const auto fail = [&] {
+      result.implied = false;
+      result.witness_attr = attr;
+      result.witness_less = t_less;
+      result.witness_more = t_more;
+      return result;
+    };
+    if (mv.is_null()) return fail();
+    const int li = vm.ValueIndex(attr, lv);
+    const int mi = vm.ValueIndex(attr, mv);
+    CCR_DCHECK(li >= 0 && mi >= 0);
+    ++result.sat_calls;
+    // Lemma 6: implied iff Φ(Se) ∧ ¬x is unsatisfiable.
+    const auto r = solver.SolveWithAssumptions(
+        {sat::Lit::Neg(vm.VarOf(attr, li, mi))});
+    if (r != sat::SolveResult::kUnsat) return fail();
+  }
+  result.implied = true;
+  return result;
+}
+
+Result<TrueValueAnalysis> AnalyzeTrueValue(
+    const Specification& se, const sat::SolverOptions& options) {
+  CCR_ASSIGN_OR_RETURN(Instantiation inst, Instantiation::Build(se));
+  const sat::Cnf phi = BuildCnf(inst);
+  if (!IsValidCnf(phi, options).valid) {
+    return Status::InvalidSpec("Se is invalid; it has no current tuple");
+  }
+  TrueValueAnalysis analysis;
+  analysis.implied_orders = NaiveDeduce(inst, phi, options);
+  analysis.true_value_index =
+      ExtractTrueValueIndices(inst.varmap, analysis.implied_orders);
+  analysis.exists = true;
+  for (int a = 0; a < inst.varmap.num_attrs(); ++a) {
+    if (inst.varmap.domain(a).empty()) continue;  // all-null attribute
+    if (analysis.true_value_index[a] < 0) {
+      analysis.exists = false;
+      break;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace ccr

@@ -1,0 +1,24 @@
+#include "src/core/isvalid.h"
+
+namespace ccr {
+
+ValidityResult IsValidCnf(const sat::Cnf& phi,
+                          const sat::SolverOptions& options) {
+  ValidityResult result;
+  result.num_vars = phi.num_vars();
+  result.num_clauses = phi.num_clauses();
+  sat::Solver solver(options);
+  solver.AddCnf(phi);
+  result.valid = solver.Solve() == sat::SolveResult::kSat;
+  result.solver_conflicts = solver.stats().conflicts;
+  return result;
+}
+
+Result<ValidityResult> IsValid(const Specification& se,
+                               const sat::SolverOptions& options) {
+  CCR_ASSIGN_OR_RETURN(Instantiation inst, Instantiation::Build(se));
+  const sat::Cnf phi = BuildCnf(inst);
+  return IsValidCnf(phi, options);
+}
+
+}  // namespace ccr

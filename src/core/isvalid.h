@@ -1,0 +1,38 @@
+// IsValid: does a specification Se have a valid completion? (§V-A)
+//
+// Theorem 1 shows satisfiability of entity specifications is NP-complete,
+// so IsValid reduces the question to SAT (Lemma 5: Se valid iff Φ(Se)
+// satisfiable) and hands Φ(Se) to the CDCL solver.
+
+#ifndef CCR_CORE_ISVALID_H_
+#define CCR_CORE_ISVALID_H_
+
+#include "src/constraints/specification.h"
+#include "src/encode/cnf_builder.h"
+#include "src/encode/instantiation.h"
+#include "src/sat/solver.h"
+
+namespace ccr {
+
+/// Outcome of a validity check, with encoding/solver size counters used by
+/// the benchmark harnesses.
+struct ValidityResult {
+  bool valid = false;
+  int num_vars = 0;
+  int num_clauses = 0;
+  int64_t solver_conflicts = 0;
+};
+
+/// Checks validity of a pre-encoded specification. The same Φ(Se) can then
+/// be reused by DeduceOrder (the framework of Fig. 4 shares the encoding
+/// across steps).
+ValidityResult IsValidCnf(const sat::Cnf& phi,
+                          const sat::SolverOptions& options = {});
+
+/// One-shot convenience: grounds `se`, builds Φ(Se) and checks it.
+Result<ValidityResult> IsValid(const Specification& se,
+                               const sat::SolverOptions& options = {});
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_ISVALID_H_

@@ -1,0 +1,128 @@
+#include "src/core/resolver.h"
+
+#include <algorithm>
+
+#include "src/common/timer.h"
+
+namespace ccr {
+
+namespace {
+
+// Number of attributes that can possibly be resolved: those with at least
+// one non-null value somewhere (empty-domain attributes have no candidate
+// true value at all).
+int CountResolvableAttrs(const VarMap& vm) {
+  int n = 0;
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    if (!vm.domain(a).empty()) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
+                              const ResolveOptions& options) {
+  const int n_attrs = se.schema().size();
+  ResolveResult result;
+  result.true_values.assign(n_attrs, Value::Null());
+  result.resolved.assign(n_attrs, false);
+  result.user_provided.assign(n_attrs, false);
+
+  Specification current = se;
+
+  for (int round = 0; round <= options.max_rounds; ++round) {
+    RoundTrace trace;
+    trace.round = round;
+    Timer timer;
+
+    // Encode once per round; validity, deduction and suggestion all share
+    // Ω(Se) and Φ(Se).
+    CCR_ASSIGN_OR_RETURN(Instantiation inst, Instantiation::Build(current));
+    const sat::Cnf phi = BuildCnf(inst);
+
+    // Step (1): validity.
+    const ValidityResult validity = IsValidCnf(phi, options.solver);
+    trace.validity_ms = timer.ElapsedMs();
+    if (!validity.valid) {
+      // Initial specification invalid (or a user's answer clashed with the
+      // constraints): report and stop. The framework's "No" branch sends
+      // users back to revise; a programmatic oracle cannot, so we stop.
+      if (round == 0) result.valid = false;
+      result.trace.push_back(trace);
+      break;
+    }
+
+    // Step (2): deduce true values.
+    timer.Restart();
+    const DeducedOrders od =
+        options.naive_deduce
+            ? NaiveDeduce(inst, phi, options.solver)
+            : DeduceOrder(inst, phi, options.deduce);
+    const std::vector<int> true_idx =
+        ExtractTrueValueIndices(inst.varmap, od);
+    trace.deduce_ms = timer.ElapsedMs();
+
+    int resolved_count = 0;
+    for (int a = 0; a < n_attrs; ++a) {
+      if (true_idx[a] >= 0) {
+        result.true_values[a] = inst.varmap.domain(a)[true_idx[a]];
+        result.resolved[a] = true;
+        ++resolved_count;
+      }
+    }
+    trace.resolved_attrs = resolved_count;
+    result.rounds_used = round;
+    result.round_values.push_back(result.true_values);
+    result.round_resolved.push_back(result.resolved);
+
+    // Step (3): done when every resolvable attribute has a true value.
+    if (resolved_count >= CountResolvableAttrs(inst.varmap)) {
+      result.complete = true;
+      result.trace.push_back(trace);
+      break;
+    }
+    if (oracle == nullptr || round == options.max_rounds) {
+      result.trace.push_back(trace);
+      break;
+    }
+
+    // Step (4): suggestion + user input.
+    timer.Restart();
+    const std::vector<std::vector<int>> candidates =
+        CandidateValues(inst.varmap, od);
+    const Suggestion suggestion =
+        Suggest(inst, phi, candidates, true_idx, options.suggest);
+    trace.suggest_ms = timer.ElapsedMs();
+    result.trace.push_back(trace);
+
+    const std::vector<UserOracle::Answer> answers =
+        oracle->Provide(current, suggestion, inst.varmap);
+    if (answers.empty()) break;  // user settles
+
+    // Materialize the answers as a new tuple t_o that dominates every
+    // existing tuple on the answered attributes (§III Remark (1)).
+    PartialTemporalOrder ot;
+    Tuple to(std::vector<Value>(n_attrs, Value::Null()));
+    for (const auto& ans : answers) {
+      if (ans.attr < 0 || ans.attr >= n_attrs) {
+        return Status::InvalidArgument("oracle answered with an invalid "
+                                       "attribute index");
+      }
+      to[ans.attr] = ans.value;
+      result.user_provided[ans.attr] = true;
+    }
+    const int to_index = current.instance().size();
+    ot.new_tuples.push_back(std::move(to));
+    for (const auto& ans : answers) {
+      for (int t = 0; t < to_index; ++t) {
+        ot.orders.emplace_back(ans.attr, t, to_index);
+      }
+    }
+    CCR_ASSIGN_OR_RETURN(current, Extend(current, ot));
+  }
+
+  return result;
+}
+
+}  // namespace ccr

@@ -1,0 +1,113 @@
+#include "src/core/suggest.h"
+
+#include <algorithm>
+
+#include "src/graph/clique.h"
+
+namespace ccr {
+
+std::string Suggestion::ToString(const VarMap& vm,
+                                 const Schema& schema) const {
+  std::string out = "suggest A = {";
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.name(attrs[i]) + " in {";
+    for (size_t j = 0; j < candidates[i].size(); ++j) {
+      if (j > 0) out += ", ";
+      out += vm.domain(attrs[i])[candidates[i][j]].ToString();
+    }
+    out += "}";
+  }
+  out += "}; derivable A' = {";
+  for (size_t i = 0; i < derivable_attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.name(derivable_attrs[i]);
+  }
+  out += "}";
+  return out;
+}
+
+Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
+                   const std::vector<std::vector<int>>& candidates,
+                   const std::vector<int>& known_true,
+                   const SuggestOptions& options) {
+  const VarMap& vm = inst.varmap;
+  Suggestion out;
+
+  // TrueDer + CompGraph + MaxClique (Fig. 7, lines 1-3).
+  const std::vector<DerivationRule> rules =
+      TrueDer(inst, candidates, known_true);
+  const graph::Graph g = CompGraph(rules);
+  const std::vector<int> clique = options.exact_clique
+                                      ? graph::MaxClique(g)
+                                      : graph::GreedyClique(g);
+
+  // GetSug: find the maximal conflict-free subset C' of the clique via
+  // MaxSAT. Each rule gets a selector implying that its premises and
+  // consequent hold as most-current values; softs maximize kept rules.
+  std::vector<int> kept;  // indices into `rules`
+  if (!clique.empty()) {
+    sat::Cnf hard = phi;
+    std::vector<std::vector<sat::Lit>> softs;
+    std::vector<sat::Var> selectors;
+    for (int node : clique) {
+      const DerivationRule& rule = rules[node];
+      const sat::Var sel = hard.NewVar();
+      selectors.push_back(sel);
+      auto assert_dominates = [&](int attr, int value_idx) {
+        const int d = static_cast<int>(vm.domain(attr).size());
+        for (int other = 0; other < d; ++other) {
+          if (other == value_idx) continue;
+          hard.AddBinary(sat::Lit::Neg(sel),
+                         sat::Lit::Pos(vm.VarOf(attr, other, value_idx)));
+        }
+      };
+      for (const auto& [attr, v] : rule.lhs) assert_dominates(attr, v);
+      assert_dominates(rule.rhs_attr, rule.rhs_value);
+      softs.push_back({sat::Lit::Pos(sel)});
+    }
+    const maxsat::MaxSatResult ms =
+        maxsat::SolveMaxSat(hard, softs, options.solver);
+    if (ms.hard_satisfiable) {
+      for (size_t i = 0; i < clique.size(); ++i) {
+        // A soft is "kept" when its selector is on in the optimal model.
+        if (i < ms.soft_satisfied.size() && ms.soft_satisfied[i]) {
+          kept.push_back(clique[i]);
+        }
+      }
+    }
+  }
+
+  // A' = consequents of C'; A = R \ (A' ∪ B).
+  std::vector<bool> derivable(vm.num_attrs(), false);
+  for (int node : kept) {
+    derivable[rules[node].rhs_attr] = true;
+    out.clique_rules.push_back(rules[node]);
+  }
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    if (derivable[a]) out.derivable_attrs.push_back(a);
+  }
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    if (known_true[a] >= 0) continue;   // B: already settled
+    if (derivable[a]) continue;         // A': follows from C'
+    if (vm.domain(a).empty()) continue; // no values at all: nothing to ask
+    if (vm.domain(a).size() == 1) continue;  // trivially resolved
+    out.attrs.push_back(a);
+    out.candidates.push_back(candidates[a]);
+  }
+  // Degenerate case: every unresolved attribute is a consequent of the
+  // clique, yet the entity is not resolved — the clique's premises are
+  // assumed candidate values, so its derivations may not actually fire
+  // under propagation. Fall back to asking the unresolved attributes
+  // directly; the framework loop is then guaranteed to make progress.
+  if (out.attrs.empty()) {
+    for (int a = 0; a < vm.num_attrs(); ++a) {
+      if (known_true[a] >= 0 || vm.domain(a).size() <= 1) continue;
+      out.attrs.push_back(a);
+      out.candidates.push_back(candidates[a]);
+    }
+  }
+  return out;
+}
+
+}  // namespace ccr

@@ -1,0 +1,53 @@
+// Suggestion generation (Algorithm Suggest, §V-C.2, Fig. 7).
+//
+// The minimum suggestion problem is Σp2-complete (Corollary 7), so Suggest
+// is a heuristic: derive rules (TrueDer), build the compatibility graph,
+// take a maximum clique C, then use MaxSAT to find the largest subset C'
+// of C with no conflicts with Se (GetSug). The suggestion asks the user
+// for the attributes that are neither known nor derivable from C'.
+
+#ifndef CCR_CORE_SUGGEST_H_
+#define CCR_CORE_SUGGEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/derivation.h"
+#include "src/maxsat/maxsat.h"
+
+namespace ccr {
+
+/// \brief A suggestion (A, V(A)): attributes whose true values the user
+/// should provide, with complete candidate sets from the active domain.
+struct Suggestion {
+  /// A: attributes to ask the user about.
+  std::vector<int> attrs;
+  /// V(A): candidate value indices (into the VarMap domain) per attribute
+  /// of `attrs`, positionally aligned.
+  std::vector<std::vector<int>> candidates;
+  /// A': attributes whose true values become derivable once A is
+  /// validated (consequents of the conflict-free clique C').
+  std::vector<int> derivable_attrs;
+  /// Rules of the conflict-free clique C' (diagnostics / explanation).
+  std::vector<DerivationRule> clique_rules;
+
+  std::string ToString(const VarMap& vm, const Schema& schema) const;
+};
+
+/// Suggest knobs.
+struct SuggestOptions {
+  /// Exact branch-and-bound clique vs. greedy heuristic (ablation).
+  bool exact_clique = true;
+  sat::SolverOptions solver;
+};
+
+/// Computes a suggestion for `se` from its encoding and deduced state.
+/// `known_true` is the per-attribute true value index (-1 if unknown).
+Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
+                   const std::vector<std::vector<int>>& candidates,
+                   const std::vector<int>& known_true,
+                   const SuggestOptions& options = {});
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_SUGGEST_H_

@@ -1,0 +1,70 @@
+#include "src/data/dataset.h"
+
+#include "src/common/rng.h"
+
+namespace ccr {
+
+namespace {
+
+// Deterministically selects ceil(fraction * n) indices of [0, n).
+std::vector<int> SelectFraction(int n, double fraction, uint64_t seed) {
+  std::vector<int> idx(n);
+  for (int i = 0; i < n; ++i) idx[i] = i;
+  if (fraction >= 1.0) return idx;
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+  const int keep = static_cast<int>(fraction * n + 0.5);
+  idx.resize(keep);
+  return idx;
+}
+
+}  // namespace
+
+Specification Dataset::MakeSpec(int idx, double sigma_fraction,
+                                double gamma_fraction,
+                                uint64_t subset_seed) const {
+  Specification se;
+  se.temporal = TemporalInstance(entities[idx].instance);
+  for (int i : SelectFraction(static_cast<int>(sigma.size()),
+                              sigma_fraction, subset_seed)) {
+    se.sigma.push_back(sigma[i]);
+  }
+  for (int i : SelectFraction(static_cast<int>(gamma.size()),
+                              gamma_fraction, subset_seed ^ 0xABCDEF)) {
+    se.gamma.push_back(gamma[i]);
+  }
+  return se;
+}
+
+std::vector<UserOracle::Answer> TruthOracle::Provide(
+    const Specification& se, const Suggestion& suggestion,
+    const VarMap& vm) {
+  (void)se;
+  (void)vm;
+  std::vector<Answer> answers;
+  bool skipped_any = false;
+  for (int attr : suggestion.attrs) {
+    if (static_cast<int>(answers.size()) >= answers_per_round_) break;
+    const Value& v = truth_[attr];
+    if (v.is_null()) continue;  // user has no knowledge of this attribute
+    if (!rng_.Chance(answer_prob_)) {
+      skipped_any = true;  // hesitates this round; may answer next time
+      continue;
+    }
+    answers.push_back(Answer{attr, v});
+  }
+  // If everything was skipped by hesitation, answer one attribute anyway:
+  // a user who keeps the session open contributes something each round.
+  if (answers.empty() && skipped_any) {
+    for (int attr : suggestion.attrs) {
+      if (!truth_[attr].is_null()) {
+        answers.push_back(Answer{attr, truth_[attr]});
+        break;
+      }
+    }
+  }
+  if (!answers.empty()) ++rounds_answered_;
+  return answers;
+}
+
+}  // namespace ccr

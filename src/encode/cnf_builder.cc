@@ -1,0 +1,53 @@
+#include "src/encode/cnf_builder.h"
+
+#include <vector>
+
+namespace ccr {
+
+sat::Cnf BuildCnf(const Instantiation& inst, const CnfBuildOptions& options) {
+  const VarMap& vm = inst.varmap;
+  sat::Cnf cnf;
+  cnf.EnsureVars(vm.num_vars());
+
+  // Materialized ground constraints.
+  std::vector<sat::Lit> clause;
+  for (const GroundConstraint& gc : inst.constraints) {
+    clause.clear();
+    for (const OrderAtom& atom : gc.body) {
+      clause.push_back(sat::Lit::Neg(vm.VarOf(atom)));
+    }
+    if (gc.head_kind == GroundHead::kAtom) {
+      clause.push_back(sat::Lit::Pos(vm.VarOf(gc.head)));
+    }
+    cnf.AddClause(std::span<const sat::Lit>(clause.data(), clause.size()));
+  }
+
+  // Structural axioms per attribute domain.
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    const int d = static_cast<int>(vm.domain(a).size());
+    if (options.asymmetry) {
+      for (int i = 0; i < d; ++i) {
+        for (int j = i + 1; j < d; ++j) {
+          cnf.AddBinary(sat::Lit::Neg(vm.VarOf(a, i, j)),
+                        sat::Lit::Neg(vm.VarOf(a, j, i)));
+        }
+      }
+    }
+    if (options.transitivity) {
+      for (int i = 0; i < d; ++i) {
+        for (int j = 0; j < d; ++j) {
+          if (j == i) continue;
+          for (int k = 0; k < d; ++k) {
+            if (k == i || k == j) continue;
+            cnf.AddTernary(sat::Lit::Neg(vm.VarOf(a, i, j)),
+                           sat::Lit::Neg(vm.VarOf(a, j, k)),
+                           sat::Lit::Pos(vm.VarOf(a, i, k)));
+          }
+        }
+      }
+    }
+  }
+  return cnf;
+}
+
+}  // namespace ccr

@@ -1,0 +1,31 @@
+// ConvertToCNF: Φ(Se) from Ω(Se) (§V-A).
+//
+// Every materialized ground constraint (b1 ∧ ... ∧ bk → h) becomes the
+// clause (¬b1 ∨ ... ∨ ¬bk ∨ h); transitivity and asymmetry of each ≺^v_A
+// are streamed straight into the CNF from the domains. By Lemma 5 of the
+// paper, Se is valid iff Φ(Se) is satisfiable (a consistent strict partial
+// order always extends to a total order).
+
+#ifndef CCR_ENCODE_CNF_BUILDER_H_
+#define CCR_ENCODE_CNF_BUILDER_H_
+
+#include "src/encode/instantiation.h"
+#include "src/sat/cnf.h"
+
+namespace ccr {
+
+/// Φ(Se) construction knobs.
+struct CnfBuildOptions {
+  /// Include the O(d^3) transitivity axioms. Always on for semantic
+  /// fidelity; exposed for the encoding micro-benchmarks.
+  bool transitivity = true;
+  /// Include the asymmetry axioms (x_ab -> ¬x_ba).
+  bool asymmetry = true;
+};
+
+/// Builds Φ(Se) over the variables of `inst.varmap`.
+sat::Cnf BuildCnf(const Instantiation& inst, const CnfBuildOptions& options = {});
+
+}  // namespace ccr
+
+#endif  // CCR_ENCODE_CNF_BUILDER_H_

@@ -1,0 +1,237 @@
+#include "src/encode/instantiation.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+namespace {
+
+// Hash / equality over a projection (vector of values).
+struct ProjHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : vs) h = h * 1315423911ULL + v.Hash();
+    return h;
+  }
+};
+
+struct ProjEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+// Attributes mentioned by a currency constraint (body and head), sorted.
+std::vector<int> MentionedAttrs(const CurrencyConstraint& phi) {
+  std::vector<int> attrs;
+  for (const auto& p : phi.order_predicates()) attrs.push_back(p.attr);
+  for (const auto& p : phi.compare_predicates()) attrs.push_back(p.attr);
+  for (const auto& p : phi.constant_predicates()) attrs.push_back(p.attr);
+  attrs.push_back(phi.head_attr());
+  std::sort(attrs.begin(), attrs.end());
+  attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
+  return attrs;
+}
+
+}  // namespace
+
+std::string GroundConstraint::ToString(const VarMap& vm,
+                                       const Schema& schema) const {
+  std::string out;
+  if (body.empty()) {
+    out += "true";
+  } else {
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i > 0) out += " & ";
+      out += vm.AtomToString(body[i], schema);
+    }
+  }
+  out += " -> ";
+  out += head_kind == GroundHead::kFalse ? "false"
+                                         : vm.AtomToString(head, schema);
+  return out;
+}
+
+Result<Instantiation> Instantiation::Build(
+    const Specification& se, const InstantiationOptions& options) {
+  Instantiation inst;
+  inst.varmap = VarMap::Build(se);
+  const VarMap& vm = inst.varmap;
+  const Schema& schema = se.schema();
+  const EntityInstance& ie = se.instance();
+  const int n_attrs = schema.size();
+
+  // Bounds-check constraints up front.
+  for (const auto& phi : se.sigma) {
+    if (phi.head_attr() < 0 || phi.head_attr() >= n_attrs) {
+      return Status::InvalidArgument("currency constraint head attribute "
+                                     "out of range");
+    }
+    for (int a : MentionedAttrs(phi)) {
+      if (a < 0 || a >= n_attrs) {
+        return Status::InvalidArgument(
+            "currency constraint attribute out of range");
+      }
+    }
+  }
+  for (const auto& cfd : se.gamma) {
+    if (cfd.rhs_attr() < 0 || cfd.rhs_attr() >= n_attrs) {
+      return Status::InvalidArgument("CFD RHS attribute out of range");
+    }
+    for (const auto& [a, c] : cfd.lhs()) {
+      if (a < 0 || a >= n_attrs) {
+        return Status::InvalidArgument("CFD LHS attribute out of range");
+      }
+    }
+  }
+
+  // (1a) Partial currency orders of It, lifted to value-level unit rules.
+  {
+    std::unordered_set<int64_t> seen;  // (attr, less, more) packed
+    for (int a = 0; a < n_attrs; ++a) {
+      for (const auto& [t_less, t_more] : se.temporal.orders(a)) {
+        const Value& lv = ie.tuple(t_less).at(a);
+        const Value& mv = ie.tuple(t_more).at(a);
+        // Null endpoints carry no value-level content: a null is ranked
+        // lowest regardless (§II-A).
+        if (lv.is_null() || mv.is_null() || lv == mv) continue;
+        const int li = vm.ValueIndex(a, lv);
+        const int mi = vm.ValueIndex(a, mv);
+        CCR_DCHECK(li >= 0 && mi >= 0);
+        const int d = static_cast<int>(vm.domain(a).size());
+        const int64_t key =
+            (static_cast<int64_t>(a) * d + li) * d + mi;
+        if (!seen.insert(key).second) continue;
+        GroundConstraint gc;
+        gc.source = GroundSource::kCurrencyOrder;
+        gc.head = OrderAtom{a, li, mi};
+        inst.constraints.push_back(std::move(gc));
+      }
+    }
+  }
+
+  // (2) Currency constraints, grounded over deduplicated tuple-pair
+  // projections.
+  for (size_t ci = 0; ci < se.sigma.size(); ++ci) {
+    const CurrencyConstraint& phi = se.sigma[ci];
+    const std::vector<int> attrs = MentionedAttrs(phi);
+
+    // Distinct projections of tuples onto `attrs`.
+    std::unordered_map<std::vector<Value>, int, ProjHash, ProjEq> proj_ids;
+    std::vector<Tuple> projections;  // full-width, nulls off-projection
+    for (const Tuple& t : ie.tuples()) {
+      std::vector<Value> key;
+      key.reserve(attrs.size());
+      for (int a : attrs) key.push_back(t.at(a));
+      auto [it, inserted] =
+          proj_ids.emplace(std::move(key), static_cast<int>(projections.size()));
+      if (inserted) {
+        std::vector<Value> wide(n_attrs);
+        for (int a : attrs) wide[a] = t.at(a);
+        projections.emplace_back(std::move(wide));
+      }
+    }
+
+    const int np = static_cast<int>(projections.size());
+    for (int p = 0; p < np; ++p) {
+      for (int q = 0; q < np; ++q) {
+        if (p == q) continue;
+        const Tuple& s1 = projections[p];
+        const Tuple& s2 = projections[q];
+        if (!phi.ComparisonsHold(s1, s2)) continue;
+
+        // Head first: many instantiations are vacuous.
+        const int ar = phi.head_attr();
+        const Value& h1 = s1.at(ar);
+        const Value& h2 = s2.at(ar);
+        if (h1.is_null() || h1 == h2) continue;  // trivially satisfied
+        bool head_false = false;
+        if (h2.is_null()) {
+          // A value would have to precede a null. Vacuous by default (the
+          // null tuple contributes no job/AC/... value to order); under
+          // strict null semantics it is a contradiction.
+          if (!options.strict_null_order) continue;
+          head_false = true;
+        }
+
+        GroundConstraint gc;
+        gc.source = GroundSource::kCurrencyConstraint;
+        gc.source_index = static_cast<int>(ci);
+        bool body_undefined = false;
+        for (const auto& op : phi.order_predicates()) {
+          const Value& v1 = s1.at(op.attr);
+          const Value& v2 = s2.at(op.attr);
+          // A null endpoint has no value-level order atom: the conjunct
+          // cannot be instantiated (ins(ω, s1, s2) substitutes values,
+          // and a null is the absence of one), so the ground rule is
+          // dropped. Treating "null ≺ v" as true instead would lift the
+          // tuple-level null-ranks-lowest convention into spurious
+          // value-level units whenever the null tuple carries values in
+          // other attributes (e.g. the user tuple t_o of §III).
+          // Equal values cannot be strictly ordered either.
+          if (v1.is_null() || v2.is_null() || v1 == v2) {
+            body_undefined = true;
+            break;
+          }
+          gc.body.push_back(OrderAtom{op.attr, vm.ValueIndex(op.attr, v1),
+                                      vm.ValueIndex(op.attr, v2)});
+        }
+        if (body_undefined) continue;
+
+        if (head_false) {
+          gc.head_kind = GroundHead::kFalse;
+        } else {
+          gc.head_kind = GroundHead::kAtom;
+          gc.head = OrderAtom{ar, vm.ValueIndex(ar, h1),
+                              vm.ValueIndex(ar, h2)};
+        }
+        inst.constraints.push_back(std::move(gc));
+      }
+    }
+  }
+
+  // (3) Applicable constant CFDs: ωX -> b ≺^v_B tp[B] for each competing b.
+  for (int gi : vm.applicable_cfds()) {
+    const ConstantCfd& cfd = se.gamma[gi];
+    const int rb = cfd.rhs_attr();
+    const int rhs_idx = vm.ValueIndex(rb, cfd.rhs_value());
+    CCR_DCHECK(rhs_idx >= 0);
+
+    // Shared body ωX: tp[Aj] dominates every other domain value of Aj.
+    std::vector<OrderAtom> body;
+    for (const auto& [aj, cj] : cfd.lhs()) {
+      const int cj_idx = vm.ValueIndex(aj, cj);
+      CCR_DCHECK(cj_idx >= 0);
+      const int d = static_cast<int>(vm.domain(aj).size());
+      for (int other = 0; other < d; ++other) {
+        if (other == cj_idx) continue;
+        body.push_back(OrderAtom{aj, other, cj_idx});
+      }
+    }
+
+    const int db = static_cast<int>(vm.domain(rb).size());
+    for (int b = 0; b < db; ++b) {
+      if (b == rhs_idx) continue;
+      GroundConstraint gc;
+      gc.source = GroundSource::kCfd;
+      gc.source_index = gi;
+      gc.body = body;
+      gc.head_kind = GroundHead::kAtom;
+      gc.head = OrderAtom{rb, b, rhs_idx};
+      inst.constraints.push_back(std::move(gc));
+    }
+  }
+
+  return inst;
+}
+
+}  // namespace ccr

@@ -1,0 +1,82 @@
+// Instantiation(Se): grounding a specification into the instance
+// constraints Ω(Se) of §V-A.
+//
+// Ω(Se) conceptually contains four families:
+//   (1a) unit constraints for the partial currency orders in It;
+//   (1b) transitivity and (1c) asymmetry of each ≺^v_A;
+//   (2)  currency constraints instantiated on tuple pairs;
+//   (3)  constant CFDs expanded per competing value b.
+// Families (2), (3) and (1a) are materialized here — they carry the
+// provenance that TrueDer (§V-C) partitions into derivation rules.
+// Families (1b)/(1c) are pure functions of the domains and are streamed
+// directly into the CNF by cnf_builder.h, never stored.
+//
+// Grounding deduplicates tuple pairs by their projection onto the
+// attributes a constraint mentions, so the cost is bounded by distinct
+// value combinations instead of |It|^2 — this is what makes the paper's
+// 10k-tuple Person entities (Fig. 8(a)) tractable.
+
+#ifndef CCR_ENCODE_INSTANTIATION_H_
+#define CCR_ENCODE_INSTANTIATION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraints/specification.h"
+#include "src/encode/varmap.h"
+
+namespace ccr {
+
+/// How a ground constraint concludes.
+enum class GroundHead {
+  kAtom,     // body -> head atom            (orders, currency rules, CFDs)
+  kFalse,    // body -> false                (head was unsatisfiable)
+};
+
+/// Where a ground constraint came from (provenance for TrueDer).
+enum class GroundSource {
+  kCurrencyOrder,       // partial order pair in It
+  kCurrencyConstraint,  // some ϕ ∈ Σ on a tuple pair
+  kCfd,                 // some ψ ∈ Γ and a competing value
+};
+
+/// \brief One materialized instance constraint: conjunction of positive
+/// order atoms implying a head atom (or false).
+struct GroundConstraint {
+  GroundSource source = GroundSource::kCurrencyOrder;
+  int source_index = -1;  // index into Σ or Γ; -1 for order pairs
+  std::vector<OrderAtom> body;
+  GroundHead head_kind = GroundHead::kAtom;
+  OrderAtom head;
+
+  std::string ToString(const VarMap& vm, const Schema& schema) const;
+};
+
+/// Grounding options.
+struct InstantiationOptions {
+  /// How to ground a rule whose head demands that a *null* be more
+  /// current than a value (e.g. prec(status) -> job onto a tuple with a
+  /// missing job). Nulls rank lowest (§II-A), so under the strict reading
+  /// the head is unsatisfiable and the rule becomes (body -> false). The
+  /// default is the operational reading of the paper's value-level
+  /// encoding: nulls carry no value-level content and the ground rule is
+  /// vacuous — required for the framework's user tuples t_o, which are
+  /// null outside the answered attributes (§III Remark (1)).
+  bool strict_null_order = false;
+};
+
+/// \brief Ω(Se): the var map plus the materialized constraint families.
+struct Instantiation {
+  VarMap varmap;
+  std::vector<GroundConstraint> constraints;
+
+  /// Grounds `se`. Fails only on malformed constraints (e.g. attribute
+  /// indices out of range); an unsatisfiable Se still grounds fine and is
+  /// detected later by IsValid.
+  static Result<Instantiation> Build(const Specification& se,
+                                     const InstantiationOptions& options = {});
+};
+
+}  // namespace ccr
+
+#endif  // CCR_ENCODE_INSTANTIATION_H_

@@ -1,0 +1,96 @@
+#include "src/encode/varmap.h"
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+VarMap VarMap::Build(const Specification& se) {
+  VarMap vm;
+  const Schema& schema = se.schema();
+  const EntityInstance& inst = se.instance();
+  const int n_attrs = schema.size();
+
+  vm.domains_.resize(n_attrs);
+  vm.index_.resize(n_attrs);
+  vm.adom_sizes_.resize(n_attrs);
+
+  auto add_value = [&vm](int attr, const Value& v) -> bool {
+    auto [it, inserted] = vm.index_[attr].emplace(
+        v, static_cast<int>(vm.domains_[attr].size()));
+    if (inserted) vm.domains_[attr].push_back(v);
+    return inserted;
+  };
+
+  // Active domains (nulls excluded; they rank lowest and are never
+  // candidate current values).
+  for (int a = 0; a < n_attrs; ++a) {
+    for (const Value& v : inst.ActiveDomain(a)) add_value(a, v);
+    vm.adom_sizes_[a] = static_cast<int>(vm.domains_[a].size());
+  }
+
+  // Reachability fixpoint over CFD constants: applicable CFDs contribute
+  // their RHS constant as a possible (repaired) current value.
+  std::vector<bool> applicable(se.gamma.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < se.gamma.size(); ++i) {
+      if (applicable[i]) continue;
+      const ConstantCfd& cfd = se.gamma[i];
+      bool lhs_reachable = true;
+      for (const auto& [attr, c] : cfd.lhs()) {
+        if (vm.ValueIndex(attr, c) < 0) {
+          lhs_reachable = false;
+          break;
+        }
+      }
+      if (!lhs_reachable) continue;
+      applicable[i] = true;
+      changed = true;
+      add_value(cfd.rhs_attr(), cfd.rhs_value());
+    }
+  }
+  for (size_t i = 0; i < se.gamma.size(); ++i) {
+    if (applicable[i]) vm.applicable_cfds_.push_back(static_cast<int>(i));
+  }
+
+  vm.offsets_.resize(n_attrs);
+  int next = 0;
+  for (int a = 0; a < n_attrs; ++a) {
+    vm.offsets_[a] = next;
+    const int d = static_cast<int>(vm.domains_[a].size());
+    next += d * d;  // diagonal slots unused but keep decode O(1)
+  }
+  vm.num_vars_ = next;
+  return vm;
+}
+
+int VarMap::ValueIndex(int attr, const Value& v) const {
+  const auto& idx = index_[attr];
+  auto it = idx.find(v);
+  return it == idx.end() ? -1 : it->second;
+}
+
+sat::Var VarMap::VarOf(int attr, int less, int more) const {
+  const int d = static_cast<int>(domains_[attr].size());
+  CCR_DCHECK(less >= 0 && more >= 0 && less < d && more < d);
+  CCR_DCHECK(less != more);
+  return offsets_[attr] + less * d + more;
+}
+
+OrderAtom VarMap::Decode(sat::Var v) const {
+  int attr = num_attrs() - 1;
+  while (attr > 0 && offsets_[attr] > v) --attr;
+  const int d = static_cast<int>(domains_[attr].size());
+  const int rel = v - offsets_[attr];
+  return OrderAtom{attr, rel / d, rel % d};
+}
+
+std::string VarMap::AtomToString(const OrderAtom& atom,
+                                 const Schema& schema) const {
+  return schema.name(atom.attr) + ": " +
+         domains_[atom.attr][atom.less].ToString() + " < " +
+         domains_[atom.attr][atom.more].ToString();
+}
+
+}  // namespace ccr

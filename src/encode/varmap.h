@@ -1,0 +1,88 @@
+// Mapping between value-level currency-order atoms a1 ≺^v_A a2 and SAT
+// variables x^A_{a1 a2} (§V-A).
+//
+// The order domain of attribute A is adom(Ie.A) plus the constants that
+// constant CFDs can introduce as repaired current values. Following the
+// remark in DESIGN.md, CFD constants are added by a reachability fixpoint:
+// a CFD is *applicable* when every LHS constant is already in its
+// attribute's domain, and an applicable CFD adds its RHS constant. CFDs
+// that can never fire on this entity are dropped, which keeps the domain —
+// and the O(d^3) transitivity encoding — proportional to the entity
+// instead of to |Γ| (the paper's 1000-pattern CFD sets would otherwise
+// blow up the CNF).
+
+#ifndef CCR_ENCODE_VARMAP_H_
+#define CCR_ENCODE_VARMAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/constraints/specification.h"
+#include "src/sat/literal.h"
+
+namespace ccr {
+
+/// \brief A value-level currency-order atom: value `less` is less current
+/// than value `more` in attribute `attr` (indices into VarMap domains).
+struct OrderAtom {
+  int attr = -1;
+  int less = -1;
+  int more = -1;
+
+  bool operator==(const OrderAtom& o) const {
+    return attr == o.attr && less == o.less && more == o.more;
+  }
+};
+
+/// \brief Per-attribute value domains and the dense atom ↔ variable map.
+class VarMap {
+ public:
+  /// Builds domains from `se` and selects the applicable CFDs.
+  static VarMap Build(const Specification& se);
+
+  int num_attrs() const { return static_cast<int>(domains_.size()); }
+
+  /// Ordered value domain of `attr` (active domain first, then reachable
+  /// CFD constants).
+  const std::vector<Value>& domain(int attr) const { return domains_[attr]; }
+
+  /// Number of values of `attr` that come from the active domain (a
+  /// prefix of domain(attr)); the rest were introduced by CFDs.
+  int active_domain_size(int attr) const { return adom_sizes_[attr]; }
+
+  /// Index of `v` in domain(attr), or -1.
+  int ValueIndex(int attr, const Value& v) const;
+
+  /// Indices into Specification::gamma of CFDs that can fire on this
+  /// entity (reachability fixpoint).
+  const std::vector<int>& applicable_cfds() const { return applicable_cfds_; }
+
+  /// Total number of SAT variables.
+  int num_vars() const { return num_vars_; }
+
+  /// Variable for the atom less ≺^v more on attr. Precondition:
+  /// 0 <= less, more < |domain(attr)| and less != more.
+  sat::Var VarOf(int attr, int less, int more) const;
+  sat::Var VarOf(const OrderAtom& atom) const {
+    return VarOf(atom.attr, atom.less, atom.more);
+  }
+
+  /// Inverse of VarOf.
+  OrderAtom Decode(sat::Var v) const;
+
+  /// Renders an atom like "city: NY < LA" for diagnostics.
+  std::string AtomToString(const OrderAtom& atom, const Schema& schema) const;
+
+ private:
+  std::vector<std::vector<Value>> domains_;
+  std::vector<int> adom_sizes_;
+  std::vector<std::unordered_map<Value, int, ValueHash>> index_;
+  std::vector<int> offsets_;  // var id base per attribute
+  std::vector<int> applicable_cfds_;
+  int num_vars_ = 0;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_ENCODE_VARMAP_H_

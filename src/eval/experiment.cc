@@ -1,0 +1,97 @@
+#include "src/eval/experiment.h"
+
+#include <algorithm>
+
+#include "src/eval/pick.h"
+
+namespace ccr {
+
+ExperimentResult RunExperiment(const Dataset& ds,
+                               const ExperimentOptions& options,
+                               const std::vector<int>& entity_indices) {
+  ExperimentResult out;
+  const int n_rounds = options.max_rounds + 1;  // rounds 0..max
+  out.accuracy_by_round.assign(n_rounds, AccuracyCounts{});
+
+  std::vector<int> indices = entity_indices;
+  if (indices.empty()) {
+    indices.resize(ds.entities.size());
+    for (size_t i = 0; i < ds.entities.size(); ++i) {
+      indices[i] = static_cast<int>(i);
+    }
+  }
+
+  for (int idx : indices) {
+    const EntityCase& ec = ds.entities[idx];
+    const Specification se =
+        ds.MakeSpec(idx, options.sigma_fraction, options.gamma_fraction,
+                    options.subset_seed);
+    TruthOracle oracle(ec.truth, options.answers_per_round,
+                       options.oracle_answer_prob,
+                       options.oracle_seed + static_cast<uint64_t>(idx));
+    ResolveOptions ropts = options.resolve;
+    ropts.max_rounds = options.max_rounds;
+    auto rr_or = Resolve(se, &oracle, ropts);
+    if (!rr_or.ok()) {
+      ++out.invalid_entities;
+      continue;
+    }
+    const ResolveResult& rr = rr_or.value();
+    ++out.entities;
+    if (!rr.valid) ++out.invalid_entities;
+    out.max_rounds_used = std::max(out.max_rounds_used, rr.rounds_used);
+    for (const RoundTrace& t : rr.trace) {
+      out.validity_ms += t.validity_ms;
+      out.deduce_ms += t.deduce_ms;
+      out.suggest_ms += t.suggest_ms;
+    }
+    // Accuracy after exactly k rounds; if the run ended earlier the final
+    // state carries forward (the entity is finished).
+    for (int k = 0; k < n_rounds; ++k) {
+      const int avail =
+          std::min<int>(k, static_cast<int>(rr.round_values.size()) - 1);
+      if (avail < 0) {
+        // Invalid on round 0: nothing resolved.
+        AccuracyCounts c;
+        c.conflicts = ec.instance.CountConflictAttributes();
+        out.accuracy_by_round[k].Add(c);
+        continue;
+      }
+      out.accuracy_by_round[k].Add(
+          ScoreAssignment(ec.instance, ec.truth, rr.round_values[avail],
+                          rr.round_resolved[avail]));
+    }
+  }
+
+  out.pct_true_by_round.resize(n_rounds);
+  for (int k = 0; k < n_rounds; ++k) {
+    const AccuracyCounts& c = out.accuracy_by_round[k];
+    out.pct_true_by_round[k] =
+        c.conflicts == 0 ? 0.0
+                         : static_cast<double>(c.deduced) / c.conflicts;
+  }
+  return out;
+}
+
+AccuracyCounts RunPick(const Dataset& ds, uint64_t seed,
+                       const std::vector<int>& entity_indices) {
+  AccuracyCounts pooled;
+  Rng rng(seed);
+  std::vector<int> indices = entity_indices;
+  if (indices.empty()) {
+    indices.resize(ds.entities.size());
+    for (size_t i = 0; i < ds.entities.size(); ++i) {
+      indices[i] = static_cast<int>(i);
+    }
+  }
+  for (int idx : indices) {
+    const EntityCase& ec = ds.entities[idx];
+    const Specification se = ds.MakeSpec(idx);
+    const PickResult pick = PickBaseline(se, &rng);
+    pooled.Add(
+        ScoreAssignment(ec.instance, ec.truth, pick.values, pick.resolved));
+  }
+  return pooled;
+}
+
+}  // namespace ccr

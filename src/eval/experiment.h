@@ -1,0 +1,61 @@
+// Experiment harness shared by the Fig. 8 benchmark binaries.
+//
+// Runs conflict resolution over every entity of a dataset with a
+// ground-truth oracle, pooling per-round accuracy and per-phase timings;
+// also runs the Pick baseline. The benches layer sweeps (constraint
+// fractions, size buckets) on top.
+
+#ifndef CCR_EVAL_EXPERIMENT_H_
+#define CCR_EVAL_EXPERIMENT_H_
+
+#include <vector>
+
+#include "src/core/resolver.h"
+#include "src/data/dataset.h"
+#include "src/eval/metrics.h"
+
+namespace ccr {
+
+/// Configuration of one dataset-level run.
+struct ExperimentOptions {
+  double sigma_fraction = 1.0;
+  double gamma_fraction = 1.0;
+  int max_rounds = 3;            // interaction rounds to simulate
+  int answers_per_round = 1 << 20;  // oracle answers per suggestion
+  double oracle_answer_prob = 1.0;  // per-attribute answer probability
+  uint64_t oracle_seed = 0xACE;
+  uint64_t subset_seed = 1;      // constraint subsetting
+  ResolveOptions resolve;
+};
+
+/// Pooled results of a dataset-level run.
+struct ExperimentResult {
+  /// accuracy_by_round[k]: accuracy if resolution stopped after k
+  /// interaction rounds (k = 0 is fully automatic).
+  std::vector<AccuracyCounts> accuracy_by_round;
+  /// pct_true_by_round[k]: fraction of conflicted attributes whose true
+  /// value is known after k rounds (the y-axis of Fig. 8(e)/(i)/(m)).
+  std::vector<double> pct_true_by_round;
+  /// Pooled per-phase wall time across entities (ms).
+  double validity_ms = 0;
+  double deduce_ms = 0;
+  double suggest_ms = 0;
+  int entities = 0;
+  int invalid_entities = 0;
+  /// Maximum interaction rounds any entity actually used.
+  int max_rounds_used = 0;
+};
+
+/// Resolves every entity in `ds` (or the sublist `entity_indices` if
+/// non-empty) and pools the results.
+ExperimentResult RunExperiment(const Dataset& ds,
+                               const ExperimentOptions& options,
+                               const std::vector<int>& entity_indices = {});
+
+/// Pick baseline accuracy over the same entities.
+AccuracyCounts RunPick(const Dataset& ds, uint64_t seed = 99,
+                       const std::vector<int>& entity_indices = {});
+
+}  // namespace ccr
+
+#endif  // CCR_EVAL_EXPERIMENT_H_

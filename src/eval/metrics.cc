@@ -1,0 +1,25 @@
+#include "src/eval/metrics.h"
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+AccuracyCounts ScoreAssignment(const EntityInstance& instance,
+                               const std::vector<Value>& truth,
+                               const std::vector<Value>& values,
+                               const std::vector<bool>& resolved) {
+  AccuracyCounts counts;
+  const int n = instance.schema().size();
+  CCR_DCHECK(static_cast<int>(truth.size()) == n);
+  CCR_DCHECK(static_cast<int>(values.size()) == n);
+  for (int a = 0; a < n; ++a) {
+    if (!instance.HasConflict(a)) continue;
+    ++counts.conflicts;
+    if (!resolved[a]) continue;
+    ++counts.deduced;
+    if (values[a] == truth[a]) ++counts.correct;
+  }
+  return counts;
+}
+
+}  // namespace ccr

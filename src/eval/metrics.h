@@ -1,0 +1,54 @@
+// Accuracy metrics for conflict resolution (§VI, "Accuracy").
+//
+// Following the paper: precision is the ratio of correctly deduced values
+// to all deduced values; recall is the ratio of correctly deduced values
+// to the number of attributes with conflicts or stale values; F-measure is
+// their harmonic mean. Only attributes that actually conflict (more than
+// one distinct non-null value) enter the counts — attributes without
+// conflicts need no resolution.
+
+#ifndef CCR_EVAL_METRICS_H_
+#define CCR_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "src/relational/entity_instance.h"
+
+namespace ccr {
+
+/// \brief Micro-averaged accuracy counters; Add() pools entities.
+struct AccuracyCounts {
+  int deduced = 0;    // conflicted attributes assigned a value
+  int correct = 0;    // ... of which match the ground truth
+  int conflicts = 0;  // conflicted attributes (recall denominator)
+
+  void Add(const AccuracyCounts& other) {
+    deduced += other.deduced;
+    correct += other.correct;
+    conflicts += other.conflicts;
+  }
+
+  double Precision() const {
+    return deduced == 0 ? 0.0 : static_cast<double>(correct) / deduced;
+  }
+  double Recall() const {
+    return conflicts == 0 ? 0.0 : static_cast<double>(correct) / conflicts;
+  }
+  double F1() const {
+    const double p = Precision();
+    const double r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Scores a per-attribute value assignment against ground truth over the
+/// conflicted attributes of `instance`. `resolved[a]` marks attributes the
+/// method committed a value for; unresolved attributes hurt recall only.
+AccuracyCounts ScoreAssignment(const EntityInstance& instance,
+                               const std::vector<Value>& truth,
+                               const std::vector<Value>& values,
+                               const std::vector<bool>& resolved);
+
+}  // namespace ccr
+
+#endif  // CCR_EVAL_METRICS_H_

@@ -1,0 +1,31 @@
+// The traditional Pick baseline (§VI).
+//
+// Conflict resolution surveys resolve attribute conflicts by picking a
+// value (max/min/any) [4]. The paper compares against a *favored* Pick:
+// it may use the comparison-only currency constraints (bodies without
+// order predicates, e.g. ϕ1–ϕ3 of the NBA set) to discard values that are
+// provably less current, then picks uniformly among the remaining ones.
+
+#ifndef CCR_EVAL_PICK_H_
+#define CCR_EVAL_PICK_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/constraints/specification.h"
+
+namespace ccr {
+
+/// Result of the Pick baseline on one entity.
+struct PickResult {
+  std::vector<Value> values;   // per attribute; null if no value available
+  std::vector<bool> resolved;  // false only for all-null attributes
+};
+
+/// Runs favored Pick on `se` (Γ is ignored; order-predicate constraints in
+/// Σ are ignored, matching the paper's setup).
+PickResult PickBaseline(const Specification& se, Rng* rng);
+
+}  // namespace ccr
+
+#endif  // CCR_EVAL_PICK_H_

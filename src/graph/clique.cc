@@ -1,0 +1,114 @@
+#include "src/graph/clique.h"
+
+#include <algorithm>
+
+namespace ccr::graph {
+
+std::vector<int> GreedyClique(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  std::vector<int> clique;
+  for (int v : order) {
+    bool compatible = true;
+    for (int u : clique) {
+      if (!g.HasEdge(u, v)) {
+        compatible = false;
+        break;
+      }
+    }
+    if (compatible) clique.push_back(v);
+  }
+  std::sort(clique.begin(), clique.end());
+  return clique;
+}
+
+namespace {
+
+struct BnBState {
+  const Graph* g;
+  std::vector<int> best;
+  std::vector<int> current;
+  int64_t nodes_left;
+};
+
+// Greedy coloring of `candidates`; returns them reordered with color
+// numbers, colors ascending. The color number of a vertex bounds the size
+// of any clique among it and its predecessors.
+void ColorSort(const Graph& g, const std::vector<int>& candidates,
+               std::vector<int>* ordered, std::vector<int>* colors) {
+  ordered->clear();
+  colors->clear();
+  std::vector<std::vector<int>> classes;
+  for (int v : candidates) {
+    bool placed = false;
+    for (auto& cls : classes) {
+      bool independent = true;
+      for (int u : cls) {
+        if (g.HasEdge(u, v)) {
+          independent = false;
+          break;
+        }
+      }
+      if (independent) {
+        cls.push_back(v);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) classes.push_back({v});
+  }
+  for (size_t c = 0; c < classes.size(); ++c) {
+    for (int v : classes[c]) {
+      ordered->push_back(v);
+      colors->push_back(static_cast<int>(c) + 1);
+    }
+  }
+}
+
+void Expand(BnBState* s, std::vector<int> candidates) {
+  if (s->nodes_left-- <= 0) return;
+  std::vector<int> ordered;
+  std::vector<int> colors;
+  ColorSort(*s->g, candidates, &ordered, &colors);
+  for (int i = static_cast<int>(ordered.size()) - 1; i >= 0; --i) {
+    const int bound =
+        static_cast<int>(s->current.size()) + colors[i];
+    if (bound <= static_cast<int>(s->best.size())) return;
+    const int v = ordered[i];
+    s->current.push_back(v);
+    std::vector<int> next;
+    for (int j = 0; j < i; ++j) {
+      if (s->g->HasEdge(ordered[j], v)) next.push_back(ordered[j]);
+    }
+    if (next.empty()) {
+      if (s->current.size() > s->best.size()) s->best = s->current;
+    } else {
+      Expand(s, std::move(next));
+    }
+    s->current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<int> MaxClique(const Graph& g, int64_t max_nodes) {
+  BnBState s;
+  s.g = &g;
+  s.best = GreedyClique(g);  // warm start for pruning
+  s.nodes_left = max_nodes;
+  std::vector<int> all(g.num_vertices());
+  for (int i = 0; i < g.num_vertices(); ++i) all[i] = i;
+  // Order by degree descending helps the coloring bound.
+  std::sort(all.begin(), all.end(), [&](int a, int b) {
+    return g.Degree(a) > g.Degree(b);
+  });
+  Expand(&s, all);
+  std::sort(s.best.begin(), s.best.end());
+  return s.best;
+}
+
+}  // namespace ccr::graph

@@ -1,0 +1,55 @@
+#include "src/graph/graph.h"
+
+namespace ccr::graph {
+
+Graph::Graph(int num_vertices) : n_(num_vertices) {
+  CCR_CHECK(num_vertices >= 0);
+  adj_.assign(static_cast<size_t>(n_) * n_, 0);
+}
+
+void Graph::AddEdge(int u, int v) {
+  CCR_DCHECK(u >= 0 && v >= 0 && u < n_ && v < n_);
+  if (u == v) return;
+  if (adj_[u * n_ + v]) return;
+  adj_[u * n_ + v] = 1;
+  adj_[v * n_ + u] = 1;
+  ++num_edges_;
+}
+
+int Graph::Degree(int v) const {
+  int d = 0;
+  for (int u = 0; u < n_; ++u) d += adj_[v * n_ + u];
+  return d;
+}
+
+std::vector<int> Graph::Neighbors(int v) const {
+  std::vector<int> out;
+  for (int u = 0; u < n_; ++u) {
+    if (adj_[v * n_ + u]) out.push_back(u);
+  }
+  return out;
+}
+
+bool Graph::IsClique(const std::vector<int>& vs) const {
+  for (size_t i = 0; i < vs.size(); ++i) {
+    for (size_t j = i + 1; j < vs.size(); ++j) {
+      if (!HasEdge(vs[i], vs[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::string Graph::ToString() const {
+  std::string out = "graph n=" + std::to_string(n_) + " m=" +
+                    std::to_string(num_edges_) + "\n";
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (HasEdge(u, v)) {
+        out += "  " + std::to_string(u) + " -- " + std::to_string(v) + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ccr::graph

@@ -1,0 +1,115 @@
+#include "src/maxsat/maxsat.h"
+
+#include "src/common/status.h"
+
+namespace ccr::maxsat {
+
+using sat::Cnf;
+using sat::Lit;
+using sat::SolveResult;
+using sat::Solver;
+using sat::Var;
+
+void AddAtMostK(Cnf* cnf, const std::vector<Lit>& xs, int k) {
+  const int n = static_cast<int>(xs.size());
+  if (k >= n) return;
+  if (k == 0) {
+    for (Lit x : xs) cnf->AddUnit(~x);
+    return;
+  }
+  // Sinz sequential counter: r[i][j] <=> at least j+1 of x_0..x_i true.
+  std::vector<std::vector<Var>> r(n);
+  for (int i = 0; i < n; ++i) {
+    r[i].resize(k);
+    for (int j = 0; j < k; ++j) r[i][j] = cnf->NewVar();
+  }
+  // x_0 -> r[0][0]
+  cnf->AddBinary(~xs[0], Lit::Pos(r[0][0]));
+  for (int j = 1; j < k; ++j) cnf->AddUnit(Lit::Neg(r[0][j]));
+  for (int i = 1; i < n; ++i) {
+    // x_i -> r[i][0]
+    cnf->AddBinary(~xs[i], Lit::Pos(r[i][0]));
+    // r[i-1][j] -> r[i][j]
+    for (int j = 0; j < k; ++j) {
+      cnf->AddBinary(Lit::Neg(r[i - 1][j]), Lit::Pos(r[i][j]));
+    }
+    // x_i & r[i-1][j-1] -> r[i][j]
+    for (int j = 1; j < k; ++j) {
+      cnf->AddTernary(~xs[i], Lit::Neg(r[i - 1][j - 1]),
+                      Lit::Pos(r[i][j]));
+    }
+    // x_i & r[i-1][k-1] -> false  (would exceed k)
+    cnf->AddBinary(~xs[i], Lit::Neg(r[i - 1][k - 1]));
+  }
+}
+
+MaxSatResult SolveMaxSat(const Cnf& hard,
+                         const std::vector<std::vector<Lit>>& soft,
+                         const sat::SolverOptions& options) {
+  MaxSatResult result;
+  const int n_soft = static_cast<int>(soft.size());
+
+  // Check the hard clauses alone first.
+  {
+    Solver probe(options);
+    probe.AddCnf(hard);
+    if (probe.Solve() != SolveResult::kSat) return result;
+    result.hard_satisfiable = true;
+    if (n_soft == 0) {
+      result.model.resize(hard.num_vars());
+      for (Var v = 0; v < hard.num_vars(); ++v) {
+        result.model[v] = probe.ModelValue(v);
+      }
+      return result;
+    }
+  }
+
+  for (int k = 0; k <= n_soft; ++k) {
+    // Fresh formula per k: hard + relaxed softs + at-most-k dropped.
+    Cnf cnf = hard;
+    std::vector<Var> selectors(n_soft);
+    std::vector<Lit> dropped;
+    dropped.reserve(n_soft);
+    for (int i = 0; i < n_soft; ++i) {
+      selectors[i] = cnf.NewVar();
+      std::vector<Lit> clause = soft[i];
+      clause.push_back(Lit::Neg(selectors[i]));
+      cnf.AddClause(std::span<const Lit>(clause.data(), clause.size()));
+      dropped.push_back(Lit::Neg(selectors[i]));
+    }
+    AddAtMostK(&cnf, dropped, k);
+    // Prefer selectors on: a dropped soft may only be dropped when needed.
+    Solver solver(options);
+    solver.AddCnf(cnf);
+    if (solver.Solve() != SolveResult::kSat) continue;
+
+    result.soft_satisfied.assign(n_soft, false);
+    result.num_satisfied = 0;
+    result.model.resize(hard.num_vars());
+    for (Var v = 0; v < hard.num_vars(); ++v) {
+      result.model[v] = solver.ModelValue(v);
+    }
+    for (int i = 0; i < n_soft; ++i) {
+      // A soft counts as satisfied if its literals hold in the model
+      // (selector choice aside, this is what callers care about).
+      bool sat_i = false;
+      for (Lit l : soft[i]) {
+        const bool val = result.model[l.var()] != l.negated();
+        if (val) {
+          sat_i = true;
+          break;
+        }
+      }
+      if (sat_i) {
+        result.soft_satisfied[i] = true;
+        ++result.num_satisfied;
+      }
+    }
+    return result;
+  }
+  // Unreachable: k == n_soft always admits a model when hard is SAT.
+  CCR_CHECK(false);
+  return result;
+}
+
+}  // namespace ccr::maxsat

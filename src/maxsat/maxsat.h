@@ -1,0 +1,53 @@
+// Partial MaxSAT: hard clauses that must hold plus unit-weight soft clauses
+// to satisfy as many of as possible.
+//
+// This is the repository's stand-in for the Walksat-based MaxSat solver the
+// paper uses in GetSug (§V-C) to find the maximum subset of a clique of
+// derivation rules that has no conflicts with the specification. The exact
+// engine runs a linear search over the number of relaxed softs on top of
+// the CDCL solver, with an assumption-core shortcut; maxsat/walksat.h
+// offers the paper-faithful stochastic local search alternative.
+
+#ifndef CCR_MAXSAT_MAXSAT_H_
+#define CCR_MAXSAT_MAXSAT_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/sat/cnf.h"
+#include "src/sat/solver.h"
+
+namespace ccr::maxsat {
+
+/// Result of a MaxSAT call.
+struct MaxSatResult {
+  /// True if the hard clauses alone are satisfiable (otherwise the rest of
+  /// the fields are meaningless).
+  bool hard_satisfiable = false;
+  /// Which soft clauses are satisfied in the best model found.
+  std::vector<bool> soft_satisfied;
+  /// Number of satisfied soft clauses.
+  int num_satisfied = 0;
+  /// Model over the original variables.
+  std::vector<bool> model;
+};
+
+/// \brief Exact partial-MaxSAT via relaxation and linear search.
+///
+/// Each soft clause Ci gets a fresh selector si with hard clause
+/// (¬si ∨ Ci); a Sinz sequential-counter cardinality constraint bounds the
+/// number of dropped softs (¬si) by k, and k grows 0, 1, 2, ... until the
+/// formula is satisfiable. The first satisfiable k is the exact optimum.
+/// GetSug instances carry at most |R| softs, so the loop is short.
+MaxSatResult SolveMaxSat(const sat::Cnf& hard,
+                         const std::vector<std::vector<sat::Lit>>& soft,
+                         const sat::SolverOptions& options = {});
+
+/// Appends clauses to `cnf` enforcing "at most k of `xs` are true" using
+/// the Sinz sequential-counter encoding (auxiliary variables are drawn
+/// from `cnf`). k >= xs.size() adds nothing; k == 0 forces all false.
+void AddAtMostK(sat::Cnf* cnf, const std::vector<sat::Lit>& xs, int k);
+
+}  // namespace ccr::maxsat
+
+#endif  // CCR_MAXSAT_MAXSAT_H_

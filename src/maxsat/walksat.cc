@@ -1,0 +1,136 @@
+#include "src/maxsat/walksat.h"
+
+#include <algorithm>
+
+#include "src/common/status.h"
+
+namespace ccr::maxsat {
+
+using sat::Cnf;
+using sat::Lit;
+
+namespace {
+
+// Occurrence lists and per-clause satisfied-literal counts for O(1) flip
+// bookkeeping.
+struct LocalState {
+  std::vector<bool> assign;             // per var
+  std::vector<int> true_count;          // per clause
+  std::vector<std::vector<int>> occur;  // lit index -> clauses containing it
+  std::vector<int> unsat_clauses;       // stack of unsatisfied clause ids
+  std::vector<int> unsat_pos;           // clause -> index in unsat_clauses, -1
+};
+
+bool LitTrue(const std::vector<bool>& assign, Lit l) {
+  return assign[l.var()] != l.negated();
+}
+
+void MarkUnsat(LocalState* s, int clause) {
+  if (s->unsat_pos[clause] >= 0) return;
+  s->unsat_pos[clause] = static_cast<int>(s->unsat_clauses.size());
+  s->unsat_clauses.push_back(clause);
+}
+
+void MarkSat(LocalState* s, int clause) {
+  const int pos = s->unsat_pos[clause];
+  if (pos < 0) return;
+  const int last = s->unsat_clauses.back();
+  s->unsat_clauses[pos] = last;
+  s->unsat_pos[last] = pos;
+  s->unsat_clauses.pop_back();
+  s->unsat_pos[clause] = -1;
+}
+
+void Flip(LocalState* s, sat::Var v) {
+  const bool new_val = !s->assign[v];
+  s->assign[v] = new_val;
+  const Lit now_true = sat::Lit(v, /*negated=*/!new_val);
+  const Lit now_false = ~now_true;
+  for (int c : s->occur[now_true.index()]) {
+    if (++s->true_count[c] == 1) MarkSat(s, c);
+  }
+  for (int c : s->occur[now_false.index()]) {
+    if (--s->true_count[c] == 0) MarkUnsat(s, c);
+  }
+}
+
+// Number of currently-satisfied clauses that flipping v would break
+// (clauses where v's literal is the only true one).
+int BreakCount(const LocalState& s, sat::Var v) {
+  const Lit cur_true = sat::Lit(v, /*negated=*/!s.assign[v]);
+  int breaks = 0;
+  for (int c : s.occur[cur_true.index()]) {
+    if (s.true_count[c] == 1) ++breaks;
+  }
+  return breaks;
+}
+
+}  // namespace
+
+WalkSatResult RunWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
+  WalkSatResult result;
+  const int n_vars = cnf.num_vars();
+  const int n_clauses = cnf.num_clauses();
+  result.model.assign(n_vars, false);
+  result.best_unsat = n_clauses;
+
+  Rng rng(options.seed);
+  LocalState s;
+  s.occur.resize(2 * std::max(n_vars, 1));
+  for (int c = 0; c < n_clauses; ++c) {
+    for (Lit l : cnf.clause(c)) s.occur[l.index()].push_back(c);
+  }
+
+  for (int attempt = 0; attempt < options.tries; ++attempt) {
+    s.assign.resize(n_vars);
+    for (int v = 0; v < n_vars; ++v) s.assign[v] = rng.Chance(0.5);
+    s.true_count.assign(n_clauses, 0);
+    s.unsat_clauses.clear();
+    s.unsat_pos.assign(n_clauses, -1);
+    for (int c = 0; c < n_clauses; ++c) {
+      for (Lit l : cnf.clause(c)) {
+        if (LitTrue(s.assign, l)) ++s.true_count[c];
+      }
+      if (s.true_count[c] == 0) MarkUnsat(&s, c);
+    }
+
+    for (int64_t flip = 0; flip < options.max_flips; ++flip) {
+      const int unsat_now = static_cast<int>(s.unsat_clauses.size());
+      if (unsat_now < result.best_unsat) {
+        result.best_unsat = unsat_now;
+        result.model = s.assign;
+      }
+      if (unsat_now == 0) {
+        result.satisfied = true;
+        return result;
+      }
+      // Pick a random unsatisfied clause.
+      const int c = s.unsat_clauses[static_cast<size_t>(
+          rng.Below(s.unsat_clauses.size()))];
+      auto lits = cnf.clause(c);
+      if (lits.empty()) break;  // empty clause: formula can't be satisfied
+      // Freebie move: a variable with break count 0, else noise/greedy.
+      sat::Var chosen = sat::kVarUndef;
+      int best_break = INT32_MAX;
+      std::vector<sat::Var> zero_break;
+      for (Lit l : lits) {
+        const int b = BreakCount(s, l.var());
+        if (b == 0) zero_break.push_back(l.var());
+        if (b < best_break) {
+          best_break = b;
+          chosen = l.var();
+        }
+      }
+      if (!zero_break.empty()) {
+        chosen = rng.PickFrom(zero_break);
+      } else if (rng.Chance(options.noise)) {
+        chosen = lits[static_cast<size_t>(rng.Below(lits.size()))].var();
+      }
+      CCR_DCHECK(chosen != sat::kVarUndef);
+      Flip(&s, chosen);
+    }
+  }
+  return result;
+}
+
+}  // namespace ccr::maxsat

@@ -1,0 +1,47 @@
+// WalkSAT-style stochastic local search for (Max)SAT.
+//
+// The paper's GetSug uses the Walksat solver of Selman & Kautz [24]; this
+// module reimplements that algorithm: greedy flips with random noise,
+// scored by the number of clauses a flip breaks. It doubles as an
+// approximate MaxSAT engine (best assignment seen = most clauses
+// satisfied), which the ablation bench compares against the exact engine
+// in maxsat.h.
+
+#ifndef CCR_MAXSAT_WALKSAT_H_
+#define CCR_MAXSAT_WALKSAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sat/cnf.h"
+
+namespace ccr::maxsat {
+
+/// WalkSAT parameters.
+struct WalkSatOptions {
+  int64_t max_flips = 100000;  // per try
+  int tries = 3;               // random restarts
+  double noise = 0.5;          // probability of a random (vs greedy) flip
+  uint64_t seed = 0x5eed;
+};
+
+/// Result of a WalkSAT run.
+struct WalkSatResult {
+  /// Best assignment found (indexed by variable).
+  std::vector<bool> model;
+  /// Number of clauses unsatisfied under `model` (0 means satisfying).
+  int best_unsat = 0;
+  /// True iff a fully satisfying assignment was found.
+  bool satisfied = false;
+};
+
+/// Runs WalkSAT on `cnf`. With weights absent, this maximizes the number
+/// of satisfied clauses; callers implementing partial MaxSAT replicate
+/// hard clauses to weight them (as the original Walksat-based MaxSat
+/// pipelines did).
+WalkSatResult RunWalkSat(const sat::Cnf& cnf, const WalkSatOptions& options);
+
+}  // namespace ccr::maxsat
+
+#endif  // CCR_MAXSAT_WALKSAT_H_

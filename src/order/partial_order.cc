@@ -1,0 +1,75 @@
+#include "src/order/partial_order.h"
+
+namespace ccr {
+
+int DenseBitset::Count() const {
+  int total = 0;
+  for (uint64_t w : words_) total += __builtin_popcountll(w);
+  return total;
+}
+
+PartialOrder::PartialOrder(int num_elements) : n_(num_elements) {
+  reach_.reserve(n_);
+  for (int i = 0; i < n_; ++i) reach_.emplace_back(n_);
+}
+
+Status PartialOrder::Add(int u, int v) {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_) {
+    return Status::InvalidArgument("partial order element out of range");
+  }
+  if (u == v) {
+    return Status::InvalidArgument(
+        "irreflexivity violated: element ordered before itself");
+  }
+  if (Less(v, u)) {
+    return Status::InvalidArgument("cycle: adding " + std::to_string(u) +
+                                   " < " + std::to_string(v) +
+                                   " but the reverse already holds");
+  }
+  if (Less(u, v)) return Status::OK();
+  // Everything at or below u now reaches v and everything v reaches.
+  for (int x = 0; x < n_; ++x) {
+    if (x == u || Less(x, u)) {
+      reach_[x].Set(v);
+      reach_[x].UnionWith(reach_[v]);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> PartialOrder::Maximal() const {
+  std::vector<int> out;
+  for (int v = 0; v < n_; ++v) {
+    bool has_above = false;
+    for (int w = 0; w < n_ && !has_above; ++w) {
+      if (Less(v, w)) has_above = true;
+    }
+    if (!has_above) out.push_back(v);
+  }
+  return out;
+}
+
+bool PartialOrder::DominatesAll(int top) const {
+  for (int w = 0; w < n_; ++w) {
+    if (w != top && !Less(w, top)) return false;
+  }
+  return true;
+}
+
+std::vector<std::pair<int, int>> PartialOrder::Pairs() const {
+  std::vector<std::pair<int, int>> out;
+  for (int u = 0; u < n_; ++u) {
+    for (int v = 0; v < n_; ++v) {
+      if (Less(u, v)) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+int PartialOrder::CountPairs() const {
+  int total = 0;
+  for (int u = 0; u < n_; ++u) total += reach_[u].Count();
+  return total;
+}
+
+}  // namespace ccr

@@ -1,0 +1,86 @@
+// Strict partial orders over a fixed universe of elements.
+//
+// Used for (a) deduced value-level currency orders Od (§V-B), and (b)
+// validating that user-supplied temporal orders keep each attribute's
+// currency order acyclic (§II-C: "We only consider partial temporal orders
+// Ot such that the union is a partial order").
+//
+// The order is maintained transitively closed, so Less() is O(1) and cycle
+// detection happens eagerly on insertion.
+
+#ifndef CCR_ORDER_PARTIAL_ORDER_H_
+#define CCR_ORDER_PARTIAL_ORDER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+/// \brief Fixed-capacity bitset used for reachability rows.
+class DenseBitset {
+ public:
+  explicit DenseBitset(int bits = 0) : bits_(bits), words_((bits + 63) / 64) {}
+
+  void Set(int i) { words_[i >> 6] |= (1ULL << (i & 63)); }
+  bool Test(int i) const { return (words_[i >> 6] >> (i & 63)) & 1ULL; }
+
+  /// this |= other. Requires equal capacity.
+  void UnionWith(const DenseBitset& other) {
+    for (size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
+  int size_bits() const { return bits_; }
+
+  /// Number of set bits.
+  int Count() const;
+
+ private:
+  int bits_;
+  std::vector<uint64_t> words_;
+};
+
+/// \brief Strict partial order ≺ on elements {0, ..., n-1}, closed under
+/// transitivity.
+class PartialOrder {
+ public:
+  explicit PartialOrder(int num_elements);
+
+  int num_elements() const { return n_; }
+
+  /// Records u ≺ v (and all transitive consequences). Fails with
+  /// InvalidArgument if v ≺ u already holds (a cycle) or u == v
+  /// (irreflexivity).
+  Status Add(int u, int v);
+
+  /// True iff u ≺ v in the closure.
+  bool Less(int u, int v) const { return reach_[u].Test(v); }
+
+  /// True iff neither u ≺ v nor v ≺ u (and u != v).
+  bool Incomparable(int u, int v) const {
+    return u != v && !Less(u, v) && !Less(v, u);
+  }
+
+  /// Elements with no element above them (candidates for "most current").
+  std::vector<int> Maximal() const;
+
+  /// True iff `top` dominates every other element: for all w != top,
+  /// w ≺ top. Such an element is the unique most-current value (§V-B).
+  bool DominatesAll(int top) const;
+
+  /// All pairs (u, v) with u ≺ v, including transitive ones.
+  std::vector<std::pair<int, int>> Pairs() const;
+
+  /// Number of ordered pairs in the closure.
+  int CountPairs() const;
+
+ private:
+  int n_;
+  std::vector<DenseBitset> reach_;  // reach_[u].Test(v) <=> u ≺ v
+};
+
+}  // namespace ccr
+
+#endif  // CCR_ORDER_PARTIAL_ORDER_H_

@@ -1,0 +1,50 @@
+#include "src/order/temporal_instance.h"
+
+namespace ccr {
+
+TemporalInstance::TemporalInstance(EntityInstance instance)
+    : instance_(std::move(instance)) {
+  orders_.resize(instance_.schema().size());
+}
+
+Status TemporalInstance::AddOrder(int attr, int t_less, int t_more) {
+  if (attr < 0 || attr >= schema().size()) {
+    return Status::InvalidArgument("attribute index out of range");
+  }
+  if (t_less < 0 || t_more < 0 || t_less >= instance_.size() ||
+      t_more >= instance_.size()) {
+    return Status::InvalidArgument("tuple index out of range in order pair");
+  }
+  if (t_less == t_more) return Status::OK();
+  const Value& a = instance_.tuple(t_less).at(attr);
+  const Value& b = instance_.tuple(t_more).at(attr);
+  if (a == b) return Status::OK();  // trivially ordered, nothing to record
+  orders_[attr].emplace_back(t_less, t_more);
+  return Status::OK();
+}
+
+int TemporalInstance::TotalOrderPairs() const {
+  int total = 0;
+  for (const auto& per_attr : orders_) {
+    total += static_cast<int>(per_attr.size());
+  }
+  return total;
+}
+
+Status TemporalInstance::AddTuple(Tuple t) {
+  return instance_.Add(std::move(t));
+}
+
+Result<TemporalInstance> Extend(const TemporalInstance& base,
+                                const PartialTemporalOrder& delta) {
+  TemporalInstance out = base;
+  for (const Tuple& t : delta.new_tuples) {
+    CCR_RETURN_NOT_OK(out.AddTuple(t));
+  }
+  for (const auto& [attr, less, more] : delta.orders) {
+    CCR_RETURN_NOT_OK(out.AddOrder(attr, less, more));
+  }
+  return out;
+}
+
+}  // namespace ccr

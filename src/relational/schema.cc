@@ -1,0 +1,29 @@
+#include "src/relational/schema.h"
+
+namespace ccr {
+
+Result<Schema> Schema::Make(std::vector<std::string> attribute_names) {
+  Schema s;
+  s.names_ = std::move(attribute_names);
+  for (int i = 0; i < static_cast<int>(s.names_.size()); ++i) {
+    auto [it, inserted] = s.index_.emplace(s.names_[i], i);
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name: " +
+                                     s.names_[i]);
+    }
+  }
+  return s;
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+Result<int> Schema::Require(const std::string& name) const {
+  int idx = IndexOf(name);
+  if (idx < 0) return Status::NotFound("no attribute named '" + name + "'");
+  return idx;
+}
+
+}  // namespace ccr

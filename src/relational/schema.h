@@ -1,0 +1,49 @@
+// Relation schema R = (A1, ..., An) (§II-A).
+
+#ifndef CCR_RELATIONAL_SCHEMA_H_
+#define CCR_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+/// \brief Ordered list of attribute names with O(1) name lookup.
+///
+/// Attribute positions (0-based) are the attribute identifiers used across
+/// the library; names only appear at API boundaries and in printing.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from attribute names; duplicate names are rejected.
+  static Result<Schema> Make(std::vector<std::string> attribute_names);
+
+  /// Number of attributes n = |R|.
+  int size() const { return static_cast<int>(names_.size()); }
+
+  /// Name of attribute at `index`. Precondition: 0 <= index < size().
+  const std::string& name(int index) const { return names_[index]; }
+
+  /// All attribute names in schema order.
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Index of `name`, or NotFound.
+  Result<int> Require(const std::string& name) const;
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,26 @@
+#include "src/relational/tuple.h"
+
+namespace ccr {
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (int i = 0; i < size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string Tuple::ToString(const Schema& schema) const {
+  std::string out;
+  for (int i = 0; i < size() && i < schema.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.name(i);
+    out += "=";
+    out += values_[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace ccr

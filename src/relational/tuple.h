@@ -1,0 +1,51 @@
+// Tuples of an entity instance (§II-A).
+
+#ifndef CCR_RELATIONAL_TUPLE_H_
+#define CCR_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/relational/schema.h"
+#include "src/relational/value.h"
+
+namespace ccr {
+
+/// \brief A row: one Value per schema attribute.
+///
+/// Tuples do not own a schema reference; the owning EntityInstance pairs
+/// them with its Schema. Attribute access is by position.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  /// Number of fields; must equal the owning schema's size.
+  int size() const { return static_cast<int>(values_.size()); }
+
+  const Value& at(int attr) const { return values_[attr]; }
+  Value& at(int attr) { return values_[attr]; }
+  const Value& operator[](int attr) const { return values_[attr]; }
+  Value& operator[](int attr) { return values_[attr]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+
+  /// Renders "(v1, v2, ...)" for diagnostics.
+  std::string ToString() const;
+
+  /// Renders "name1=v1, name2=v2, ..." using `schema` for names.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_RELATIONAL_TUPLE_H_

@@ -1,0 +1,89 @@
+#include "src/relational/value.h"
+
+#include <functional>
+
+#include "src/common/status.h"
+
+namespace ccr {
+
+double Value::AsNumber() const {
+  if (type() == ValueType::kInt) return static_cast<double>(as_int());
+  CCR_DCHECK(type() == ValueType::kDouble);
+  return as_double();
+}
+
+bool Value::operator==(const Value& other) const {
+  const bool lhs_num =
+      type() == ValueType::kInt || type() == ValueType::kDouble;
+  const bool rhs_num =
+      other.type() == ValueType::kInt || other.type() == ValueType::kDouble;
+  if (lhs_num && rhs_num) return AsNumber() == other.AsNumber();
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case ValueType::kNull: return true;
+    case ValueType::kString: return as_string() == other.as_string();
+    default: return false;  // unreachable: numeric handled above
+  }
+}
+
+int Value::Compare(const Value& other) const {
+  // Rank classes: null(0) < number(1) < string(2).
+  auto rank = [](ValueType t) {
+    switch (t) {
+      case ValueType::kNull: return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble: return 1;
+      case ValueType::kString: return 2;
+    }
+    return 3;
+  };
+  const int lr = rank(type());
+  const int rr = rank(other.type());
+  if (lr != rr) return lr < rr ? -1 : 1;
+  switch (lr) {
+    case 0: return 0;  // null == null
+    case 1: {
+      const double a = AsNumber();
+      const double b = other.AsNumber();
+      if (a < b) return -1;
+      if (a > b) return 1;
+      return 0;
+    }
+    default: {
+      const int c = as_string().compare(other.as_string());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return std::to_string(as_int());
+    case ValueType::kDouble: {
+      std::string s = std::to_string(as_double());
+      return s;
+    }
+    case ValueType::kString: return as_string();
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull: return 0x9bf1'53d1ULL;
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      // Numeric values hash through double so kInt 3 == kDouble 3.0
+      // (equal under ==) hash identically.
+      double d = AsNumber();
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      return std::hash<double>{}(d) * 0x9e3779b97f4a7c15ULL;
+    }
+    case ValueType::kString:
+      return std::hash<std::string>{}(as_string());
+  }
+  return 0;
+}
+
+}  // namespace ccr

@@ -1,0 +1,85 @@
+// Attribute values for entity instances (§II-A of the paper).
+//
+// A Value is null, a 64-bit integer, a double, or a string. Nulls rank
+// lowest everywhere: in currency orders a tuple whose attribute is null is
+// the least current (§II-A), and in comparison predicates null < k for any
+// value k (Example 2(b), "assuming null < k for any number k").
+
+#ifndef CCR_RELATIONAL_VALUE_H_
+#define CCR_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace ccr {
+
+/// Runtime type tag of a Value.
+enum class ValueType : uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+/// \brief Dynamically typed attribute value with a total comparison order.
+///
+/// The total order is: null < all numbers < all strings; numbers compare by
+/// magnitude across kInt/kDouble; strings compare lexicographically. This
+/// order backs the comparison predicates (=, !=, <, <=, >, >=) of currency
+/// constraints.
+class Value {
+ public:
+  /// Constructs the null value.
+  Value() : repr_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Str(std::string v) { return Value(Repr(std::move(v))); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(repr_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Precondition: type() == kInt.
+  int64_t as_int() const { return std::get<int64_t>(repr_); }
+  /// Precondition: type() == kDouble.
+  double as_double() const { return std::get<double>(repr_); }
+  /// Precondition: type() == kString.
+  const std::string& as_string() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: int or double widened to double. Precondition: numeric.
+  double AsNumber() const;
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Three-way comparison under the library-wide total order.
+  /// Returns <0, 0, >0 like strcmp.
+  int Compare(const Value& other) const;
+
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Renders the value for printing; strings are unquoted, null is "null".
+  std::string ToString() const;
+
+  /// Stable hash compatible with operator== (kInt 3 and kDouble 3.0 collide
+  /// deliberately only if equal under ==; they are not equal here: == is
+  /// type-sensitive except int/double compare numerically — see .cc).
+  size_t Hash() const;
+
+ private:
+  using Repr = std::variant<std::monostate, int64_t, double, std::string>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+
+  Repr repr_;
+};
+
+/// Hash functor for use in unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ccr
+
+#endif  // CCR_RELATIONAL_VALUE_H_

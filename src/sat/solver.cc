@@ -1,0 +1,532 @@
+#include "src/sat/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/status.h"
+
+namespace ccr::sat {
+
+Solver::Solver(SolverOptions options) : options_(options) {}
+
+Var Solver::NewVar() {
+  const Var v = static_cast<Var>(assigns_.size());
+  assigns_.push_back(Lbool::kUndef);
+  polarity_.push_back(false);
+  level_.push_back(0);
+  reason_.push_back(kRefUndef);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();  // 2 watch lists per var
+  watches_.emplace_back();
+  HeapInsert(v);
+  return v;
+}
+
+Solver::ClauseRef Solver::AllocClause(const std::vector<Lit>& lits,
+                                      bool learnt) {
+  const ClauseRef ref = static_cast<ClauseRef>(arena_.size());
+  arena_.push_back((static_cast<uint32_t>(lits.size()) << 1) |
+                   (learnt ? 1u : 0u));
+  arena_.push_back(0);  // activity bits
+  for (Lit l : lits) {
+    arena_.push_back(static_cast<uint32_t>(l.index()));
+  }
+  return ref;
+}
+
+void Solver::AttachClause(ClauseRef c) {
+  CCR_DCHECK(ClauseSize(c) >= 2);
+  const Lit* lits = ClauseLits(c);
+  watches_[(~lits[0]).index()].push_back({c, lits[1]});
+  watches_[(~lits[1]).index()].push_back({c, lits[0]});
+}
+
+void Solver::DetachClause(ClauseRef c) {
+  const Lit* lits = ClauseLits(c);
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[(~lits[i]).index()];
+    for (size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].cref == c) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  CCR_DCHECK(DecisionLevel() == 0);
+  for (Lit l : lits) {
+    while (l.var() >= num_vars()) NewVar();
+  }
+  // Simplify: drop duplicate/false literals; detect tautology/satisfied.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = kLitUndef;
+  for (Lit l : lits) {
+    if (l == prev) continue;
+    if (l == ~prev) return true;  // tautology: p ∨ ~p
+    const Lbool v = ValueOf(l);
+    if (v == Lbool::kTrue) return true;  // already satisfied at level 0
+    if (v == Lbool::kFalse) continue;    // already false at level 0
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    UncheckedEnqueue(out[0], kRefUndef);
+    ok_ = (Propagate() == kRefUndef);
+    return ok_;
+  }
+  const ClauseRef c = AllocClause(out, /*learnt=*/false);
+  clauses_.push_back(c);
+  AttachClause(c);
+  return true;
+}
+
+void Solver::AddCnf(const Cnf& cnf) {
+  while (num_vars() < cnf.num_vars()) NewVar();
+  std::vector<Lit> scratch;
+  for (int i = 0; i < cnf.num_clauses(); ++i) {
+    auto span = cnf.clause(i);
+    scratch.assign(span.begin(), span.end());
+    AddClause(std::move(scratch));
+    scratch.clear();
+  }
+}
+
+void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {
+  CCR_DCHECK(ValueOf(p) == Lbool::kUndef);
+  assigns_[p.var()] = p.negated() ? Lbool::kFalse : Lbool::kTrue;
+  level_[p.var()] = DecisionLevel();
+  reason_[p.var()] = from;
+  trail_.push_back(p);
+}
+
+Solver::ClauseRef Solver::Propagate() {
+  ClauseRef conflict = kRefUndef;
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    auto& ws = watches_[p.index()];
+    size_t i = 0, j = 0;
+    const size_t n = ws.size();
+    while (i < n) {
+      Watcher w = ws[i];
+      if (ValueOf(w.blocker) == Lbool::kTrue) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      const ClauseRef c = w.cref;
+      Lit* lits = ClauseLits(c);
+      const int size = ClauseSize(c);
+      // Normalize so the false literal (~p) is at position 1.
+      const Lit not_p = ~p;
+      if (lits[0] == not_p) std::swap(lits[0], lits[1]);
+      CCR_DCHECK(lits[1] == not_p);
+      ++i;
+      // 0th watch true => clause satisfied.
+      if (lits[0] != w.blocker && ValueOf(lits[0]) == Lbool::kTrue) {
+        ws[j++] = {c, lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool found = false;
+      for (int k = 2; k < size; ++k) {
+        if (ValueOf(lits[k]) != Lbool::kFalse) {
+          std::swap(lits[1], lits[k]);
+          watches_[(~lits[1]).index()].push_back({c, lits[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      ws[j++] = {c, lits[0]};
+      if (ValueOf(lits[0]) == Lbool::kFalse) {
+        conflict = c;
+        qhead_ = trail_.size();
+        while (i < n) ws[j++] = ws[i++];
+      } else {
+        UncheckedEnqueue(lits[0], c);
+      }
+    }
+    ws.resize(j);
+    if (conflict != kRefUndef) break;
+  }
+  return conflict;
+}
+
+void Solver::VarBump(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) HeapDecrease(v);
+}
+
+void Solver::ClauseBump(ClauseRef c) {
+  float& act = ClauseActivity(c);
+  act += static_cast<float>(clause_inc_);
+  if (act > 1e20f) {
+    for (ClauseRef l : learnts_) ClauseActivity(l) *= 1e-20f;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
+                     int* out_btlevel) {
+  int path_count = 0;
+  Lit p = kLitUndef;
+  out_learnt->clear();
+  out_learnt->push_back(kLitUndef);  // slot for the asserting literal
+  size_t index = trail_.size();
+
+  ClauseRef c = conflict;
+  do {
+    CCR_DCHECK(c != kRefUndef);
+    if (ClauseLearnt(c)) ClauseBump(c);
+    const Lit* lits = ClauseLits(c);
+    const int size = ClauseSize(c);
+    for (int k = (p == kLitUndef) ? 0 : 1; k < size; ++k) {
+      const Lit q = lits[k];
+      const Var v = q.var();
+      if (!seen_[v] && level_[v] > 0) {
+        seen_[v] = 1;
+        VarBump(v);
+        if (level_[v] >= DecisionLevel()) {
+          ++path_count;
+        } else {
+          out_learnt->push_back(q);
+        }
+      }
+    }
+    // Select next literal on the current level to resolve on.
+    while (!seen_[trail_[--index].var()]) {
+    }
+    p = trail_[index];
+    c = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --path_count;
+  } while (path_count > 0);
+  (*out_learnt)[0] = ~p;
+
+  // Conflict-clause minimization: drop literals implied by the rest.
+  std::vector<Lit>& learnt = *out_learnt;
+  size_t keep = 1;
+  for (size_t k = 1; k < learnt.size(); ++k) {
+    const Var v = learnt[k].var();
+    const ClauseRef r = reason_[v];
+    bool redundant = false;
+    if (r != kRefUndef) {
+      redundant = true;
+      const Lit* rl = ClauseLits(r);
+      const int rs = ClauseSize(r);
+      for (int m = 1; m < rs; ++m) {
+        const Var w = rl[m].var();
+        if (!seen_[w] && level_[w] > 0) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) learnt[keep++] = learnt[k];
+  }
+  stats_.learnt_literals += static_cast<int64_t>(keep);
+  for (size_t k = keep; k < learnt.size(); ++k) seen_[learnt[k].var()] = 0;
+  learnt.resize(keep);
+
+  // Backtrack level: highest level among the non-asserting literals.
+  if (learnt.size() == 1) {
+    *out_btlevel = 0;
+  } else {
+    size_t max_i = 1;
+    for (size_t k = 2; k < learnt.size(); ++k) {
+      if (level_[learnt[k].var()] > level_[learnt[max_i].var()]) max_i = k;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    *out_btlevel = level_[learnt[1].var()];
+  }
+  for (Lit l : learnt) seen_[l.var()] = 0;
+}
+
+void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* out_core) {
+  out_core->clear();
+  out_core->push_back(p);
+  if (DecisionLevel() == 0) return;
+  seen_[p.var()] = 1;
+  for (size_t i = trail_.size();
+       i-- > static_cast<size_t>(trail_lim_[0]);) {
+    const Var v = trail_[i].var();
+    if (!seen_[v]) continue;
+    const ClauseRef r = reason_[v];
+    if (r == kRefUndef) {
+      if (level_[v] > 0) out_core->push_back(~trail_[i]);
+    } else {
+      const Lit* lits = ClauseLits(r);
+      const int size = ClauseSize(r);
+      for (int k = 1; k < size; ++k) {
+        if (level_[lits[k].var()] > 0) seen_[lits[k].var()] = 1;
+      }
+    }
+    seen_[v] = 0;
+  }
+  seen_[p.var()] = 0;
+}
+
+void Solver::CancelUntil(int target) {
+  if (DecisionLevel() <= target) return;
+  for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_lim_[target]);) {
+    const Var v = trail_[i].var();
+    assigns_[v] = Lbool::kUndef;
+    if (options_.use_phase_saving) polarity_[v] = trail_[i].negated();
+    reason_[v] = kRefUndef;
+    if (heap_pos_[v] < 0) HeapInsert(v);
+  }
+  trail_.resize(trail_lim_[target]);
+  trail_lim_.resize(target);
+  qhead_ = trail_.size();
+}
+
+// --- decision heap -------------------------------------------------------
+
+void Solver::HeapInsert(Var v) {
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  HeapDecrease(v);
+}
+
+void Solver::HeapDecrease(Var v) {
+  // Percolate up by activity.
+  int i = heap_pos_[v];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[parent]] >= activity_[v]) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+Var Solver::HeapPop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  const Var last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Percolate `last` down from the root.
+    int i = 0;
+    const int n = static_cast<int>(heap_.size());
+    while (true) {
+      int child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n &&
+          activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+        ++child;
+      }
+      if (activity_[heap_[child]] <= activity_[last]) break;
+      heap_[i] = heap_[child];
+      heap_pos_[heap_[i]] = i;
+      i = child;
+    }
+    heap_[i] = last;
+    heap_pos_[last] = i;
+  }
+  return top;
+}
+
+Lit Solver::PickBranchLit() {
+  Var next = kVarUndef;
+  if (options_.use_vsids) {
+    while (!HeapEmpty()) {
+      next = HeapPop();
+      if (assigns_[next] == Lbool::kUndef) break;
+      next = kVarUndef;
+    }
+  } else {
+    for (Var v = 0; v < num_vars(); ++v) {
+      if (assigns_[v] == Lbool::kUndef) {
+        next = v;
+        break;
+      }
+    }
+  }
+  if (next == kVarUndef) return kLitUndef;
+  return Lit(next, polarity_[next]);
+}
+
+void Solver::ReduceDb() {
+  // Keep the most active half of learnt clauses; never drop reasons.
+  std::sort(learnts_.begin(), learnts_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              return ClauseActivity(a) > ClauseActivity(b);
+            });
+  size_t keep = learnts_.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(keep + 16);
+  for (size_t i = 0; i < learnts_.size(); ++i) {
+    const ClauseRef c = learnts_[i];
+    const Lit first = ClauseLits(c)[0];
+    const bool is_reason = assigns_[first.var()] != Lbool::kUndef &&
+                           reason_[first.var()] == c;
+    if (i < keep || ClauseSize(c) == 2 || is_reason) {
+      kept.push_back(c);
+    } else {
+      DetachClause(c);
+    }
+  }
+  learnts_.swap(kept);
+}
+
+void Solver::RemoveSatisfiedTopLevel() {
+  auto sweep = [this](std::vector<ClauseRef>* list) {
+    size_t j = 0;
+    for (ClauseRef c : *list) {
+      const Lit* lits = ClauseLits(c);
+      const int size = ClauseSize(c);
+      bool satisfied = false;
+      for (int k = 0; k < size && !satisfied; ++k) {
+        satisfied = ValueOf(lits[k]) == Lbool::kTrue;
+      }
+      if (satisfied) {
+        DetachClause(c);
+      } else {
+        (*list)[j++] = c;
+      }
+    }
+    list->resize(j);
+  };
+  sweep(&learnts_);
+}
+
+int64_t Solver::Luby(int64_t i) {
+  // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  int64_t k = 1;
+  while ((1LL << k) - 1 < i + 1) ++k;
+  while ((1LL << k) - 1 != i + 1) {
+    --k;
+    i = i - ((1LL << k) - 1);
+  }
+  return 1LL << (k - 1);
+}
+
+SolveResult Solver::Search(int64_t conflict_budget,
+                           const std::vector<Lit>& assumptions) {
+  int64_t conflicts_here = 0;
+  std::vector<Lit> learnt;
+  while (true) {
+    const ClauseRef conflict = Propagate();
+    if (conflict != kRefUndef) {
+      ++stats_.conflicts;
+      ++conflicts_here;
+      if (DecisionLevel() == 0) {
+        ok_ = false;
+        return SolveResult::kUnsat;
+      }
+      int bt_level = 0;
+      Analyze(conflict, &learnt, &bt_level);
+      // Backjumping may pop assumption pseudo-decisions; the
+      // honor-assumptions step below re-establishes them, and an
+      // assumption forced false there yields kUnsat with a core.
+      CancelUntil(bt_level);
+      if (learnt.size() == 1) {
+        UncheckedEnqueue(learnt[0], kRefUndef);
+      } else {
+        const ClauseRef c = AllocClause(learnt, /*learnt=*/true);
+        learnts_.push_back(c);
+        AttachClause(c);
+        ClauseBump(c);
+        UncheckedEnqueue(learnt[0], c);
+      }
+      VarDecay();
+      ClauseDecay();
+      continue;
+    }
+
+    // No conflict.
+    if (options_.use_restarts && conflict_budget >= 0 &&
+        conflicts_here >= conflict_budget) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;  // restart
+    }
+    if (options_.max_conflicts >= 0 &&
+        stats_.conflicts >= options_.max_conflicts) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
+    if (DecisionLevel() == 0) RemoveSatisfiedTopLevel();
+    if (options_.use_clause_deletion &&
+        static_cast<double>(learnts_.size()) >= max_learnts_) {
+      ReduceDb();
+      max_learnts_ *= 1.1;
+    }
+
+    Lit next = kLitUndef;
+    // Honor assumptions first.
+    while (DecisionLevel() < static_cast<int>(assumptions.size())) {
+      const Lit a = assumptions[DecisionLevel()];
+      const Lbool av = ValueOf(a);
+      if (av == Lbool::kTrue) {
+        trail_lim_.push_back(static_cast<int>(trail_.size()));
+      } else if (av == Lbool::kFalse) {
+        AnalyzeFinal(~a, &conflict_core_);
+        return SolveResult::kUnsat;
+      } else {
+        next = a;
+        break;
+      }
+    }
+    if (next == kLitUndef) {
+      next = PickBranchLit();
+      if (next == kLitUndef) {
+        // All variables assigned: model found.
+        model_.assign(assigns_.begin(), assigns_.end());
+        return SolveResult::kSat;
+      }
+      ++stats_.decisions;
+    }
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+    UncheckedEnqueue(next, kRefUndef);
+  }
+}
+
+SolveResult Solver::SolveInternal(const std::vector<Lit>& assumptions) {
+  conflict_core_.clear();
+  if (!ok_) return SolveResult::kUnsat;
+  for (Lit a : assumptions) {
+    CCR_CHECK(a.var() < num_vars());
+  }
+  CancelUntil(0);
+  max_learnts_ =
+      std::max(1000.0, static_cast<double>(clauses_.size()) / 3.0);
+
+  int64_t restart_round = 0;
+  while (true) {
+    const int64_t budget =
+        options_.use_restarts ? 100 * Luby(restart_round) : -1;
+    const SolveResult r = Search(budget, assumptions);
+    if (r != SolveResult::kUnknown) {
+      CancelUntil(0);
+      return r;
+    }
+    if (options_.max_conflicts >= 0 &&
+        stats_.conflicts >= options_.max_conflicts) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
+    ++restart_round;
+    ++stats_.restarts;
+  }
+}
+
+}  // namespace ccr::sat

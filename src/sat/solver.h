@@ -1,0 +1,180 @@
+// Conflict-driven clause learning (CDCL) SAT solver.
+//
+// This is the repository's stand-in for MiniSat [19], which the paper's
+// IsValid uses to decide whether a specification Se has a valid completion.
+// It implements the standard modern architecture: two-watched-literal
+// propagation, 1-UIP conflict analysis with clause learning, VSIDS decision
+// ordering, phase saving, Luby restarts, activity-based learnt-clause
+// reduction, and incremental solving under assumptions (used by NaiveDeduce
+// and the MaxSAT layer).
+
+#ifndef CCR_SAT_SOLVER_H_
+#define CCR_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sat/cnf.h"
+#include "src/sat/literal.h"
+
+namespace ccr::sat {
+
+/// Tunables; the defaults match common MiniSat settings. The ablation
+/// benches flip individual features off.
+struct SolverOptions {
+  bool use_vsids = true;          // activity-ordered decisions vs. lowest id
+  bool use_phase_saving = true;   // remember last polarity per variable
+  bool use_restarts = true;       // Luby restarts
+  bool use_clause_deletion = true;  // periodically shrink the learnt DB
+  double var_decay = 0.95;
+  double clause_decay = 0.999;
+  int64_t max_conflicts = -1;     // < 0 means unlimited
+};
+
+/// Outcome of a solve call.
+enum class SolveResult { kSat, kUnsat, kUnknown };
+
+/// Solver statistics (cumulative across Solve calls).
+struct SolverStats {
+  int64_t conflicts = 0;
+  int64_t decisions = 0;
+  int64_t propagations = 0;
+  int64_t restarts = 0;
+  int64_t learnt_literals = 0;
+};
+
+/// \brief Incremental CDCL solver.
+///
+/// Typical use:
+///   Solver s;
+///   s.AddCnf(phi);
+///   if (s.Solve() == SolveResult::kSat) { ... s.ModelValue(v) ... }
+///
+/// Clauses may be added between Solve calls; assumptions make a solve
+/// conditional without permanently asserting the literals.
+class Solver {
+ public:
+  explicit Solver(SolverOptions options = {});
+
+  /// Allocates a fresh variable.
+  Var NewVar();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause. Returns false if the solver is already in an
+  /// unsatisfiable state (empty clause derived at level 0).
+  bool AddClause(std::vector<Lit> lits);
+
+  /// Adds every clause of `cnf`, growing the variable universe as needed.
+  void AddCnf(const Cnf& cnf);
+
+  /// Decides satisfiability of the accumulated clauses.
+  SolveResult Solve() { return SolveInternal({}); }
+
+  /// Decides satisfiability under the given assumption literals.
+  SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions) {
+    return SolveInternal(assumptions);
+  }
+
+  /// Model access after kSat. Precondition: last solve returned kSat.
+  bool ModelValue(Var v) const { return model_[v] == Lbool::kTrue; }
+  Lbool ModelLbool(Var v) const { return model_[v]; }
+
+  /// After kUnsat under assumptions: a subset of the assumptions that is
+  /// already jointly inconsistent with the clauses (an unsat "core").
+  const std::vector<Lit>& FailedAssumptions() const { return conflict_core_; }
+
+  const SolverStats& stats() const { return stats_; }
+
+  /// True if unsatisfiability was established independent of assumptions.
+  bool IsUnsatForever() const { return !ok_; }
+
+ private:
+  // --- clause arena ----------------------------------------------------
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef kRefUndef = UINT32_MAX;
+
+  // Arena layout per clause: [size<<1 | learnt][activity bits][lits...]
+  ClauseRef AllocClause(const std::vector<Lit>& lits, bool learnt);
+  int ClauseSize(ClauseRef c) const { return arena_[c] >> 1; }
+  bool ClauseLearnt(ClauseRef c) const { return arena_[c] & 1; }
+  Lit* ClauseLits(ClauseRef c) {
+    return reinterpret_cast<Lit*>(&arena_[c + 2]);
+  }
+  const Lit* ClauseLits(ClauseRef c) const {
+    return reinterpret_cast<const Lit*>(&arena_[c + 2]);
+  }
+  float& ClauseActivity(ClauseRef c) {
+    return *reinterpret_cast<float*>(&arena_[c + 1]);
+  }
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;
+  };
+
+  // --- search ----------------------------------------------------------
+  SolveResult SolveInternal(const std::vector<Lit>& assumptions);
+  SolveResult Search(int64_t conflict_budget,
+                     const std::vector<Lit>& assumptions);
+  ClauseRef Propagate();
+  void Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
+               int* out_btlevel);
+  void AnalyzeFinal(Lit p, std::vector<Lit>* out_core);
+  void UncheckedEnqueue(Lit p, ClauseRef from);
+  void CancelUntil(int level);
+  Lit PickBranchLit();
+  void AttachClause(ClauseRef c);
+  void DetachClause(ClauseRef c);
+  void ReduceDb();
+  void RemoveSatisfiedTopLevel();
+
+  Lbool ValueOf(Lit p) const {
+    return LboolOf(assigns_[p.var()], p.negated());
+  }
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+
+  // VSIDS helpers.
+  void VarBump(Var v);
+  void VarDecay() { var_inc_ /= options_.var_decay; }
+  void ClauseBump(ClauseRef c);
+  void ClauseDecay() { clause_inc_ /= options_.clause_decay; }
+  void HeapInsert(Var v);
+  Var HeapPop();
+  void HeapDecrease(Var v);
+  bool HeapEmpty() const { return heap_.empty(); }
+
+  static int64_t Luby(int64_t i);
+
+  SolverOptions options_;
+  SolverStats stats_;
+  bool ok_ = true;  // false once UNSAT independent of assumptions
+
+  std::vector<uint32_t> arena_;
+  std::vector<ClauseRef> clauses_;  // problem clauses
+  std::vector<ClauseRef> learnts_;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  std::vector<Lbool> assigns_;                 // per var
+  std::vector<bool> polarity_;                 // saved phases
+  std::vector<int> level_;                     // per var
+  std::vector<ClauseRef> reason_;              // per var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+
+  std::vector<double> activity_;  // per var
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<Var> heap_;       // binary max-heap of vars by activity
+  std::vector<int> heap_pos_;   // per var; -1 if absent
+
+  std::vector<uint8_t> seen_;   // scratch for Analyze
+  std::vector<Lbool> model_;
+  std::vector<Lit> conflict_core_;
+
+  double max_learnts_ = 0;
+};
+
+}  // namespace ccr::sat
+
+#endif  // CCR_SAT_SOLVER_H_

@@ -1,0 +1,218 @@
+// Tests for DeduceOrder / NaiveDeduce and true-value extraction (§V-B).
+//
+// The central cases are the paper's own: Example 2 (all of Edith's true
+// values are deducible automatically) and Examples 3/9 (only name and kids
+// for George until the user supplies status).
+
+#include <gtest/gtest.h>
+
+#include "paper_fixture.h"
+#include "src/core/deduce.h"
+#include "src/encode/cnf_builder.h"
+
+namespace ccr {
+namespace {
+
+using testing::EdithSpec;
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+class DeduceTest : public ::testing::Test {
+ protected:
+  // Deduces true values for `se`; returns per-attribute Values (null when
+  // underivable).
+  static std::vector<Value> DeduceTruth(const Specification& se,
+                                        bool naive = false) {
+    auto inst = Instantiation::Build(se);
+    EXPECT_TRUE(inst.ok());
+    const sat::Cnf phi = BuildCnf(*inst);
+    const DeducedOrders od =
+        naive ? NaiveDeduce(*inst, phi) : DeduceOrder(*inst, phi);
+    const std::vector<int> idx = ExtractTrueValueIndices(inst->varmap, od);
+    std::vector<Value> out(idx.size(), Value::Null());
+    for (size_t a = 0; a < idx.size(); ++a) {
+      if (idx[a] >= 0) out[a] = inst->varmap.domain(a)[idx[a]];
+    }
+    return out;
+  }
+
+  Schema schema_ = PaperSchema();
+};
+
+TEST_F(DeduceTest, Example2EdithFullyResolved) {
+  // Example 2: t1 = (Edith Shain, deceased, n/a, 3, LA, 213, 90058,
+  // Vermont) — deduced with no user interaction.
+  const std::vector<Value> truth = DeduceTruth(EdithSpec());
+  EXPECT_EQ(truth[schema_.IndexOf("name")], Value::Str("Edith Shain"));
+  EXPECT_EQ(truth[schema_.IndexOf("status")], Value::Str("deceased"));
+  EXPECT_EQ(truth[schema_.IndexOf("job")], Value::Str("n/a"));
+  EXPECT_EQ(truth[schema_.IndexOf("kids")], Value::Int(3));
+  EXPECT_EQ(truth[schema_.IndexOf("city")], Value::Str("LA"));
+  EXPECT_EQ(truth[schema_.IndexOf("AC")], Value::Int(213));
+  EXPECT_EQ(truth[schema_.IndexOf("zip")], Value::Str("90058"));
+  EXPECT_EQ(truth[schema_.IndexOf("county")], Value::Str("Vermont"));
+}
+
+TEST_F(DeduceTest, Example3GeorgePartiallyResolved) {
+  // Example 3: only (name, kids) = (George, 2) are derivable from E2.
+  const std::vector<Value> truth = DeduceTruth(GeorgeSpec());
+  EXPECT_EQ(truth[schema_.IndexOf("name")],
+            Value::Str("George Mendonca"));
+  EXPECT_EQ(truth[schema_.IndexOf("kids")], Value::Int(2));
+  for (const char* open :
+       {"status", "job", "city", "AC", "zip", "county"}) {
+    EXPECT_TRUE(truth[schema_.IndexOf(open)].is_null()) << open;
+  }
+}
+
+TEST_F(DeduceTest, Example9DeducedOrdersForGeorge) {
+  // Example 9 lists the orders DeduceOrder finds for E2.
+  const Specification se = GeorgeSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od = DeduceOrder(*inst, phi);
+  const VarMap& vm = inst->varmap;
+  auto expect_less = [&](const char* attr_name, Value a, Value b) {
+    const int attr = schema_.IndexOf(attr_name);
+    const int ia = vm.ValueIndex(attr, a);
+    const int ib = vm.ValueIndex(attr, b);
+    ASSERT_GE(ia, 0);
+    ASSERT_GE(ib, 0);
+    EXPECT_TRUE(od.per_attr[attr].Less(ia, ib))
+        << attr_name << ": " << a.ToString() << " < " << b.ToString();
+  };
+  expect_less("kids", Value::Int(0), Value::Int(2));         // (1) by ϕ4
+  expect_less("status", Value::Str("working"),
+              Value::Str("retired"));                         // (2) by ϕ1
+  expect_less("job", Value::Str("sailor"), Value::Str("veteran"));  // (3)
+  expect_less("AC", Value::Int(401), Value::Int(212));
+  expect_less("zip", Value::Str("02840"), Value::Str("12404"));
+}
+
+TEST_F(DeduceTest, Example9AfterUserAssertsStatus) {
+  // "Assume that the users assure that the true value of status is
+  // retired" — extend E2 and the cascade resolves everything:
+  // (George, retired, n/a?, 2, NY, 212, 12404, Accord). In the paper the
+  // user tuple's job is deduced via ϕ5 from tuple r5, giving veteran for
+  // job (Example 6) — our extension matches Example 6's reading.
+  Specification se = GeorgeSpec();
+  PartialTemporalOrder ot;
+  // t_o carries status=retired and dominates all tuples on status.
+  Tuple to(std::vector<Value>(schema_.size(), Value::Null()));
+  to[schema_.IndexOf("status")] = Value::Str("retired");
+  ot.new_tuples.push_back(to);
+  for (int t = 0; t < 3; ++t) {
+    ot.orders.emplace_back(schema_.IndexOf("status"), t, 3);
+  }
+  auto extended = Extend(se, ot);
+  ASSERT_TRUE(extended.ok());
+  const std::vector<Value> truth = DeduceTruth(*extended);
+  EXPECT_EQ(truth[schema_.IndexOf("status")], Value::Str("retired"));
+  EXPECT_EQ(truth[schema_.IndexOf("job")], Value::Str("veteran"));
+  EXPECT_EQ(truth[schema_.IndexOf("AC")], Value::Int(212));
+  EXPECT_EQ(truth[schema_.IndexOf("zip")], Value::Str("12404"));
+  EXPECT_EQ(truth[schema_.IndexOf("city")], Value::Str("NY"));
+  EXPECT_EQ(truth[schema_.IndexOf("county")], Value::Str("Accord"));
+  EXPECT_EQ(truth[schema_.IndexOf("kids")], Value::Int(2));
+}
+
+TEST_F(DeduceTest, NaiveDeduceAgreesOnEdith) {
+  const auto fast = DeduceTruth(EdithSpec(), /*naive=*/false);
+  const auto naive = DeduceTruth(EdithSpec(), /*naive=*/true);
+  EXPECT_EQ(fast, naive);
+}
+
+TEST_F(DeduceTest, NaiveDeduceAgreesOnGeorge) {
+  const auto fast = DeduceTruth(GeorgeSpec(), /*naive=*/false);
+  const auto naive = DeduceTruth(GeorgeSpec(), /*naive=*/true);
+  EXPECT_EQ(fast, naive);
+}
+
+TEST_F(DeduceTest, NaiveSupersetOfUnitPropagation) {
+  // NaiveDeduce is complete (Lemma 6); DeduceOrder is a sound heuristic:
+  // every positive order deduced by unit propagation must also be found
+  // by the naive method.
+  const Specification se = GeorgeSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  DeduceOptions strict;
+  strict.paper_negative_units = false;  // only proven positives
+  const DeducedOrders fast = DeduceOrder(*inst, phi, strict);
+  const DeducedOrders naive = NaiveDeduce(*inst, phi);
+  for (int a = 0; a < inst->varmap.num_attrs(); ++a) {
+    for (const auto& [u, v] : fast.per_attr[a].Pairs()) {
+      EXPECT_TRUE(naive.per_attr[a].Less(u, v))
+          << "attr " << a << ": " << u << " < " << v;
+    }
+  }
+}
+
+TEST_F(DeduceTest, CandidateValuesExcludeDominated) {
+  const Specification se = GeorgeSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od = DeduceOrder(*inst, phi);
+  const auto candidates = CandidateValues(inst->varmap, od);
+  const int status = schema_.IndexOf("status");
+  // "working" is dominated by "retired"; candidates are retired and
+  // unemployed (Example 12: V(status) = {retired, unemployed}).
+  const VarMap& vm = inst->varmap;
+  std::vector<Value> cand_values;
+  for (int i : candidates[status]) {
+    cand_values.push_back(vm.domain(status)[i]);
+  }
+  EXPECT_EQ(cand_values.size(), 2u);
+  EXPECT_NE(std::find(cand_values.begin(), cand_values.end(),
+                      Value::Str("retired")),
+            cand_values.end());
+  EXPECT_NE(std::find(cand_values.begin(), cand_values.end(),
+                      Value::Str("unemployed")),
+            cand_values.end());
+}
+
+TEST_F(DeduceTest, EmptyDomainHasNoTrueValue) {
+  Schema schema = Schema::Make({"a", "b"}).value();
+  EntityInstance inst(schema, "e");
+  ASSERT_TRUE(inst.Add(Tuple({Value::Null(), Value::Int(1)})).ok());
+  Specification se;
+  se.temporal = TemporalInstance(std::move(inst));
+  auto ground = Instantiation::Build(se);
+  ASSERT_TRUE(ground.ok());
+  const sat::Cnf phi = BuildCnf(*ground);
+  const DeducedOrders od = DeduceOrder(*ground, phi);
+  const auto idx = ExtractTrueValueIndices(ground->varmap, od);
+  EXPECT_EQ(idx[0], -1);  // all-null attribute
+  EXPECT_EQ(idx[1], 0);   // singleton domain resolves trivially
+}
+
+TEST_F(DeduceTest, PaperNegativeUnitModeAddsReversedOrders) {
+  // Craft a formula where only a negative unit is derivable: with the
+  // asymmetry axiom, x_ab forces ¬x_ba; both modes agree there. Check the
+  // mode flag is wired by confirming strict mode never exceeds paper mode.
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  DeduceOptions paper_mode;
+  paper_mode.paper_negative_units = true;
+  DeduceOptions strict;
+  strict.paper_negative_units = false;
+  const int paper_pairs = DeduceOrder(*inst, phi, paper_mode).CountPairs();
+  const int strict_pairs = DeduceOrder(*inst, phi, strict).CountPairs();
+  EXPECT_GE(paper_pairs, strict_pairs);
+}
+
+TEST_F(DeduceTest, DeduceCountsPairs) {
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od = DeduceOrder(*inst, phi);
+  EXPECT_GT(od.CountPairs(), 0);
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,176 @@
+// Tests for TrueDer and CompGraph (§V-C.1), against Example 10 (derivation
+// rules for George) and Example 11 (the compatibility graph of Fig. 6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_fixture.h"
+#include "src/core/derivation.h"
+#include "src/encode/cnf_builder.h"
+
+namespace ccr {
+namespace {
+
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+class DerivationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    se_ = GeorgeSpec();
+    auto inst = Instantiation::Build(se_);
+    ASSERT_TRUE(inst.ok());
+    inst_ = std::move(inst).value();
+    phi_ = BuildCnf(inst_);
+    od_ = DeduceOrder(inst_, phi_);
+    known_ = ExtractTrueValueIndices(inst_.varmap, od_);
+    candidates_ = CandidateValues(inst_.varmap, od_);
+    rules_ = TrueDer(inst_, candidates_, known_);
+  }
+
+  // Finds a rule with the given premise/consequent (by value), or -1.
+  int FindRule(const std::vector<std::pair<std::string, Value>>& lhs,
+               const std::string& rhs_attr, const Value& rhs_value) const {
+    const Schema schema = PaperSchema();
+    const VarMap& vm = inst_.varmap;
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const DerivationRule& r = rules_[i];
+      if (schema.name(r.rhs_attr) != rhs_attr) continue;
+      if (!(vm.domain(r.rhs_attr)[r.rhs_value] == rhs_value)) continue;
+      if (r.lhs.size() != lhs.size()) continue;
+      bool all = true;
+      for (const auto& [name, value] : lhs) {
+        const int attr = schema.IndexOf(name);
+        bool found = false;
+        for (const auto& [rattr, rvalue] : r.lhs) {
+          if (rattr == attr && vm.domain(rattr)[rvalue] == value) {
+            found = true;
+          }
+        }
+        all = all && found;
+      }
+      if (all) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  Specification se_;
+  Instantiation inst_;
+  sat::Cnf phi_;
+  DeducedOrders od_;
+  std::vector<int> known_;
+  std::vector<std::vector<int>> candidates_;
+  std::vector<DerivationRule> rules_;
+};
+
+TEST_F(DerivationTest, Example10RulesArePresent) {
+  // n1: ({status}, {retired}) -> (job, veteran)
+  EXPECT_GE(FindRule({{"status", Value::Str("retired")}}, "job",
+                     Value::Str("veteran")),
+            0);
+  // n2: ({status}, {retired}) -> (AC, 212)
+  EXPECT_GE(
+      FindRule({{"status", Value::Str("retired")}}, "AC", Value::Int(212)),
+      0);
+  // n3: ({status}, {retired}) -> (zip, 12404)
+  EXPECT_GE(FindRule({{"status", Value::Str("retired")}}, "zip",
+                     Value::Str("12404")),
+            0);
+  // n4: ({city, zip}, {NY, 12404}) -> (county, Accord)
+  EXPECT_GE(FindRule({{"city", Value::Str("NY")},
+                      {"zip", Value::Str("12404")}},
+                     "county", Value::Str("Accord")),
+            0);
+  // n5: ({AC}, {212}) -> (city, NY)   [from CFD ψ2]
+  EXPECT_GE(
+      FindRule({{"AC", Value::Int(212)}}, "city", Value::Str("NY")), 0);
+  // n6: ({status}, {unemployed}) -> (job, n/a)
+  EXPECT_GE(FindRule({{"status", Value::Str("unemployed")}}, "job",
+                     Value::Str("n/a")),
+            0);
+  // n7: ({status}, {unemployed}) -> (AC, 312)
+  EXPECT_GE(FindRule({{"status", Value::Str("unemployed")}}, "AC",
+                     Value::Int(312)),
+            0);
+  // n8: ({status}, {unemployed}) -> (zip, 60653)
+  EXPECT_GE(FindRule({{"status", Value::Str("unemployed")}}, "zip",
+                     Value::Str("60653")),
+            0);
+  // n9: ({city, zip}, {Chicago, 60653}) -> (county, Bronzeville)
+  EXPECT_GE(FindRule({{"city", Value::Str("Chicago")},
+                      {"zip", Value::Str("60653")}},
+                     "county", Value::Str("Bronzeville")),
+            0);
+}
+
+TEST_F(DerivationTest, NoRulesForKnownAttributes) {
+  // name and kids are already resolved (Example 3); no rule may target
+  // them.
+  const Schema schema = PaperSchema();
+  for (const DerivationRule& r : rules_) {
+    EXPECT_NE(schema.name(r.rhs_attr), "name");
+    EXPECT_NE(schema.name(r.rhs_attr), "kids");
+  }
+}
+
+TEST_F(DerivationTest, PremisesAreCandidates) {
+  // Rule premises must be candidate (or known) true values — never values
+  // that are already dominated.
+  for (const DerivationRule& r : rules_) {
+    for (const auto& [attr, v] : r.lhs) {
+      if (known_[attr] >= 0) {
+        EXPECT_EQ(known_[attr], v);
+      } else {
+        const auto& cands = candidates_[attr];
+        EXPECT_NE(std::find(cands.begin(), cands.end(), v), cands.end());
+      }
+    }
+  }
+}
+
+TEST_F(DerivationTest, Example11CompatibilityEdges) {
+  const graph::Graph g = CompGraph(rules_);
+  const int n1 = FindRule({{"status", Value::Str("retired")}}, "job",
+                          Value::Str("veteran"));
+  const int n2 = FindRule({{"status", Value::Str("retired")}}, "AC",
+                          Value::Int(212));
+  const int n5 =
+      FindRule({{"AC", Value::Int(212)}}, "city", Value::Str("NY"));
+  const int n7 = FindRule({{"status", Value::Str("unemployed")}}, "AC",
+                          Value::Int(312));
+  ASSERT_GE(n1, 0);
+  ASSERT_GE(n2, 0);
+  ASSERT_GE(n5, 0);
+  ASSERT_GE(n7, 0);
+  // Edge (n1, n2): same status premise, different consequents.
+  EXPECT_TRUE(g.HasEdge(n1, n2));
+  // Edge (n2, n5): n2 concludes AC=212, n5 premises AC=212 — compatible.
+  EXPECT_TRUE(g.HasEdge(n2, n5));
+  // No edge (n5, n7): AC values differ (212 vs 312) — Example 11.
+  EXPECT_FALSE(g.HasEdge(n5, n7));
+  // No edge (n2, n7): both conclude AC.
+  EXPECT_FALSE(g.HasEdge(n2, n7));
+}
+
+TEST_F(DerivationTest, RuleToStringIsReadable) {
+  ASSERT_FALSE(rules_.empty());
+  const std::string s =
+      rules_[0].ToString(inst_.varmap, PaperSchema());
+  EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST_F(DerivationTest, KnownTrueValuesRestrictCfdRules) {
+  // Pin city = Chicago as known; the CFD rule for city = NY must vanish.
+  std::vector<int> known = known_;
+  const int city = PaperSchema().IndexOf("city");
+  known[city] =
+      inst_.varmap.ValueIndex(city, Value::Str("Chicago"));
+  const auto rules = TrueDer(inst_, candidates_, known);
+  for (const DerivationRule& r : rules) {
+    EXPECT_NE(r.rhs_attr, city);
+  }
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,320 @@
+// Tests for src/encode: VarMap, Instantiation (Ω(Se)), CNF builder (Φ(Se)).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_fixture.h"
+#include "src/encode/cnf_builder.h"
+#include "src/encode/instantiation.h"
+#include "src/sat/solver.h"
+
+namespace ccr {
+namespace {
+
+using testing::EdithSpec;
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+class VarMapTest : public ::testing::Test {
+ protected:
+  Specification se_ = EdithSpec();
+  VarMap vm_ = VarMap::Build(se_);
+  int status_ = PaperSchema().IndexOf("status");
+  int city_ = PaperSchema().IndexOf("city");
+  int kids_ = PaperSchema().IndexOf("kids");
+  int ac_ = PaperSchema().IndexOf("AC");
+};
+
+TEST_F(VarMapTest, DomainsMatchActiveDomains) {
+  EXPECT_EQ(vm_.domain(status_).size(), 3u);  // working, retired, deceased
+  EXPECT_EQ(vm_.domain(kids_).size(), 2u);    // 0, 3 (null excluded)
+  EXPECT_EQ(vm_.active_domain_size(status_), 3);
+}
+
+TEST_F(VarMapTest, CfdConstantsAreIncludedWhenReachable) {
+  // ψ1/ψ2 RHS cities LA and NY are already in adom(city); domain stays 3.
+  EXPECT_EQ(vm_.domain(city_).size(), 3u);
+  EXPECT_EQ(vm_.ValueIndex(city_, Value::Str("LA")), 2);
+  // Both CFDs are applicable: 213 and 212 appear in adom(AC).
+  EXPECT_EQ(vm_.applicable_cfds().size(), 2u);
+}
+
+TEST_F(VarMapTest, UnreachableCfdIsPruned) {
+  Specification se = EdithSpec();
+  auto extra = ParseCfd(PaperSchema(), "AC = 999 -> city = 'Nowhere'");
+  ASSERT_TRUE(extra.ok());
+  se.gamma.push_back(std::move(extra).value());
+  const VarMap vm = VarMap::Build(se);
+  // AC 999 never occurs: the CFD can never fire, its RHS constant must not
+  // pollute the city domain.
+  EXPECT_EQ(vm.domain(city_).size(), 3u);
+  EXPECT_EQ(vm.ValueIndex(city_, Value::Str("Nowhere")), -1);
+  EXPECT_EQ(vm.applicable_cfds().size(), 2u);
+}
+
+TEST_F(VarMapTest, ReachableCfdConstantExtendsDomain) {
+  Specification se = EdithSpec();
+  auto extra = ParseCfd(PaperSchema(), "AC = 213 -> county = 'LA County'");
+  ASSERT_TRUE(extra.ok());
+  se.gamma.push_back(std::move(extra).value());
+  const VarMap vm = VarMap::Build(se);
+  const int county = PaperSchema().IndexOf("county");
+  EXPECT_EQ(vm.domain(county).size(), 4u);  // 3 adom + introduced constant
+  EXPECT_GE(vm.ValueIndex(county, Value::Str("LA County")), 0);
+  EXPECT_EQ(vm.active_domain_size(county), 3);
+}
+
+TEST_F(VarMapTest, CfdChainingFixpoint) {
+  // A CFD whose LHS constant is only *introduced* by another CFD must
+  // still be applicable (fixpoint, not single pass).
+  Specification se = EdithSpec();
+  auto c1 = ParseCfd(PaperSchema(), "AC = 213 -> county = 'LA County'");
+  auto c2 = ParseCfd(PaperSchema(), "county = 'LA County' -> zip = '90001'");
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  se.gamma.push_back(std::move(c1).value());
+  se.gamma.push_back(std::move(c2).value());
+  const VarMap vm = VarMap::Build(se);
+  const int zip = PaperSchema().IndexOf("zip");
+  EXPECT_GE(vm.ValueIndex(zip, Value::Str("90001")), 0);
+  EXPECT_EQ(vm.applicable_cfds().size(), 4u);
+}
+
+TEST_F(VarMapTest, VarOfDecodeRoundTrip) {
+  for (int a = 0; a < vm_.num_attrs(); ++a) {
+    const int d = static_cast<int>(vm_.domain(a).size());
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        if (i == j) continue;
+        const sat::Var v = vm_.VarOf(a, i, j);
+        ASSERT_GE(v, 0);
+        ASSERT_LT(v, vm_.num_vars());
+        const OrderAtom atom = vm_.Decode(v);
+        EXPECT_EQ(atom.attr, a);
+        EXPECT_EQ(atom.less, i);
+        EXPECT_EQ(atom.more, j);
+      }
+    }
+  }
+}
+
+TEST_F(VarMapTest, DistinctAtomsGetDistinctVars) {
+  std::vector<sat::Var> vars;
+  for (int a = 0; a < vm_.num_attrs(); ++a) {
+    const int d = static_cast<int>(vm_.domain(a).size());
+    for (int i = 0; i < d; ++i) {
+      for (int j = 0; j < d; ++j) {
+        if (i != j) vars.push_back(vm_.VarOf(a, i, j));
+      }
+    }
+  }
+  std::sort(vars.begin(), vars.end());
+  EXPECT_EQ(std::adjacent_find(vars.begin(), vars.end()), vars.end());
+}
+
+class InstantiationTest : public ::testing::Test {
+ protected:
+  static int CountBySource(const Instantiation& inst, GroundSource src) {
+    int n = 0;
+    for (const auto& gc : inst.constraints) n += (gc.source == src) ? 1 : 0;
+    return n;
+  }
+};
+
+TEST_F(InstantiationTest, EdithGroundsTheExampleConstraints) {
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  // Example 7: ϕ1 on (r1, r2) yields (true -> working ≺ retired): an
+  // unconditional currency-constraint instance.
+  const VarMap& vm = inst->varmap;
+  const int status = PaperSchema().IndexOf("status");
+  const int working = vm.ValueIndex(status, Value::Str("working"));
+  const int retired = vm.ValueIndex(status, Value::Str("retired"));
+  bool found_unconditional = false;
+  for (const auto& gc : inst->constraints) {
+    if (gc.source == GroundSource::kCurrencyConstraint && gc.body.empty() &&
+        gc.head_kind == GroundHead::kAtom && gc.head.attr == status &&
+        gc.head.less == working && gc.head.more == retired) {
+      found_unconditional = true;
+    }
+  }
+  EXPECT_TRUE(found_unconditional);
+}
+
+TEST_F(InstantiationTest, Example8CfdEncoding) {
+  // ψ1 for Edith: two instance constraints
+  //   212 ≺ 213 & 415 ≺ 213 -> NY ≺ LA  and  ... -> SFC ≺ LA.
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const VarMap& vm = inst->varmap;
+  const int city = PaperSchema().IndexOf("city");
+  const int ac = PaperSchema().IndexOf("AC");
+  const int la = vm.ValueIndex(city, Value::Str("LA"));
+  int cfd_heads_to_la = 0;
+  for (const auto& gc : inst->constraints) {
+    if (gc.source != GroundSource::kCfd) continue;
+    if (gc.head.attr == city && gc.head.more == la) {
+      ++cfd_heads_to_la;
+      // Body: both other AC values dominated by 213.
+      EXPECT_EQ(gc.body.size(), 2u);
+      for (const auto& atom : gc.body) {
+        EXPECT_EQ(atom.attr, ac);
+        EXPECT_EQ(vm.domain(ac)[atom.more], Value::Int(213));
+      }
+    }
+  }
+  EXPECT_EQ(cfd_heads_to_la, 2);  // NY ≺ LA and SFC ≺ LA variants
+}
+
+TEST_F(InstantiationTest, OrderPredicateGrounding) {
+  // ϕ6 on (r1, r2): working ≺ retired -> 212 ≺ 415 (Example 7).
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const VarMap& vm = inst->varmap;
+  const int status = PaperSchema().IndexOf("status");
+  const int ac = PaperSchema().IndexOf("AC");
+  const int working = vm.ValueIndex(status, Value::Str("working"));
+  const int retired = vm.ValueIndex(status, Value::Str("retired"));
+  const int ac212 = vm.ValueIndex(ac, Value::Int(212));
+  const int ac415 = vm.ValueIndex(ac, Value::Int(415));
+  bool found = false;
+  for (const auto& gc : inst->constraints) {
+    if (gc.source != GroundSource::kCurrencyConstraint) continue;
+    if (gc.body.size() == 1 && gc.body[0].attr == status &&
+        gc.body[0].less == working && gc.body[0].more == retired &&
+        gc.head_kind == GroundHead::kAtom && gc.head.attr == ac &&
+        gc.head.less == ac212 && gc.head.more == ac415) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InstantiationTest, NullHeadsAreVacuous) {
+  // ϕ4 with t1 = r3 (kids null): null < 0 and null < 3 hold, but the head
+  // r3 ≺kids rX carries no value-level content (null is not in the
+  // domain). No ground constraint may mention a null.
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const VarMap& vm = inst->varmap;
+  for (const auto& gc : inst->constraints) {
+    for (const auto& atom : gc.body) {
+      EXPECT_GE(atom.less, 0);
+      EXPECT_LT(atom.less, static_cast<int>(vm.domain(atom.attr).size()));
+    }
+    if (gc.head_kind == GroundHead::kAtom) {
+      EXPECT_GE(gc.head.less, 0);
+      EXPECT_NE(gc.head.less, gc.head.more);
+    }
+  }
+}
+
+TEST_F(InstantiationTest, TupleProjectionDeduplication) {
+  // Duplicating tuples must not change the number of currency-constraint
+  // instances (grounding is over distinct projections).
+  Specification se = EdithSpec();
+  auto base = Instantiation::Build(se);
+  ASSERT_TRUE(base.ok());
+  const int base_count =
+      CountBySource(*base, GroundSource::kCurrencyConstraint);
+
+  Specification dup = EdithSpec();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        dup.temporal.AddTuple(dup.instance().tuple(i)).ok());
+  }
+  auto dupped = Instantiation::Build(dup);
+  ASSERT_TRUE(dupped.ok());
+  EXPECT_EQ(CountBySource(*dupped, GroundSource::kCurrencyConstraint),
+            base_count);
+}
+
+TEST_F(InstantiationTest, CurrencyOrdersBecomeUnitConstraints) {
+  Specification se = EdithSpec();
+  // Explicit temporal information: r1 ≺city r2.
+  ASSERT_TRUE(se.temporal.AddOrder(PaperSchema().IndexOf("city"), 0, 1).ok());
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  int order_units = 0;
+  for (const auto& gc : inst->constraints) {
+    if (gc.source == GroundSource::kCurrencyOrder) {
+      EXPECT_TRUE(gc.body.empty());
+      ++order_units;
+    }
+  }
+  EXPECT_EQ(order_units, 1);
+}
+
+TEST(CnfBuilderTest, StructuralAxiomCounts) {
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const VarMap& vm = inst->varmap;
+
+  const sat::Cnf with_axioms = BuildCnf(*inst);
+  CnfBuildOptions no_axioms;
+  no_axioms.transitivity = false;
+  no_axioms.asymmetry = false;
+  const sat::Cnf bare = BuildCnf(*inst, no_axioms);
+
+  int64_t expected_extra = 0;
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    const int64_t d = static_cast<int64_t>(vm.domain(a).size());
+    expected_extra += d * (d - 1) / 2;            // asymmetry
+    expected_extra += d * (d - 1) * (d - 2);      // transitivity
+  }
+  EXPECT_EQ(with_axioms.num_clauses() - bare.num_clauses(), expected_extra);
+  EXPECT_EQ(bare.num_clauses(),
+            static_cast<int>(inst->constraints.size()));
+  EXPECT_EQ(with_axioms.num_vars(), vm.num_vars());
+}
+
+TEST(CnfBuilderTest, NullHeadSemantics) {
+  // A rule whose head orders a value before a null (the more-current
+  // tuple's email is missing): vacuous by default, a contradiction under
+  // strict null semantics (see InstantiationOptions::strict_null_order).
+  Schema schema = Schema::Make({"status", "email"}).value();
+  EntityInstance inst(schema, "e");
+  ASSERT_TRUE(inst.Add(Tuple({Value::Str("working"), Value::Str("a@x")})).ok());
+  ASSERT_TRUE(inst.Add(Tuple({Value::Str("retired"), Value::Null()})).ok());
+  Specification se;
+  se.temporal = TemporalInstance(std::move(inst));
+  auto phi = ParseCurrencyConstraint(
+      schema, "t1[status] = 'working' & t2[status] = 'retired' -> email");
+  ASSERT_TRUE(phi.ok());
+  se.sigma.push_back(std::move(phi).value());
+
+  // Default (operational) semantics: the rule is dropped, Se stays valid.
+  auto ground = Instantiation::Build(se);
+  ASSERT_TRUE(ground.ok());
+  for (const auto& gc : ground->constraints) {
+    EXPECT_NE(gc.head_kind, GroundHead::kFalse);
+  }
+  {
+    sat::Solver solver;
+    solver.AddCnf(BuildCnf(*ground));
+    EXPECT_EQ(solver.Solve(), sat::SolveResult::kSat);
+  }
+
+  // Strict semantics: (body -> false); here the body is empty after the
+  // comparisons evaluate, so Φ(Se) contains the empty clause.
+  InstantiationOptions strict;
+  strict.strict_null_order = true;
+  auto strict_ground = Instantiation::Build(se, strict);
+  ASSERT_TRUE(strict_ground.ok());
+  bool found_false_head = false;
+  for (const auto& gc : strict_ground->constraints) {
+    if (gc.head_kind == GroundHead::kFalse) found_false_head = true;
+  }
+  EXPECT_TRUE(found_false_head);
+  sat::Solver solver;
+  solver.AddCnf(BuildCnf(*strict_ground));
+  EXPECT_EQ(solver.Solve(), sat::SolveResult::kUnsat);
+}
+
+}  // namespace
+}  // namespace ccr

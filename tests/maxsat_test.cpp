@@ -1,0 +1,213 @@
+// Tests for the MaxSAT layer: Sinz cardinality encoding, exact partial
+// MaxSAT, and WalkSAT local search.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/maxsat/maxsat.h"
+#include "src/maxsat/walksat.h"
+
+namespace ccr::maxsat {
+namespace {
+
+using sat::Cnf;
+using sat::Lit;
+using sat::SolveResult;
+using sat::Solver;
+using sat::Var;
+
+int CountTrue(const Solver& s, const std::vector<Var>& vars) {
+  int n = 0;
+  for (Var v : vars) n += s.ModelValue(v) ? 1 : 0;
+  return n;
+}
+
+class AtMostKTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(AtMostKTest, BoundsHold) {
+  const auto [n, k] = GetParam();
+  Cnf cnf;
+  std::vector<Var> vars;
+  std::vector<Lit> lits;
+  for (int i = 0; i < n; ++i) {
+    vars.push_back(cnf.NewVar());
+    lits.push_back(Lit::Pos(vars.back()));
+  }
+  AddAtMostK(&cnf, lits, k);
+  // Satisfiable, and every model has at most k true.
+  Solver s;
+  s.AddCnf(cnf);
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_LE(CountTrue(s, vars), k);
+  // Forcing k of them true is satisfiable; forcing k+1 is not.
+  {
+    Solver s2;
+    s2.AddCnf(cnf);
+    std::vector<Lit> assume;
+    for (int i = 0; i < k && i < n; ++i) assume.push_back(lits[i]);
+    EXPECT_EQ(s2.SolveWithAssumptions(assume), SolveResult::kSat);
+    if (k < n) {
+      assume.push_back(lits[k]);
+      EXPECT_EQ(s2.SolveWithAssumptions(assume), SolveResult::kUnsat);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AtMostKTest,
+                         ::testing::Values(std::pair<int, int>{4, 0},
+                                           std::pair<int, int>{4, 1},
+                                           std::pair<int, int>{4, 2},
+                                           std::pair<int, int>{4, 3},
+                                           std::pair<int, int>{7, 3},
+                                           std::pair<int, int>{10, 5},
+                                           std::pair<int, int>{6, 6}));
+
+TEST(MaxSatTest, UnsatisfiableHardDetected) {
+  Cnf hard;
+  const Var a = hard.NewVar();
+  hard.AddUnit(Lit::Pos(a));
+  hard.AddUnit(Lit::Neg(a));
+  const auto r = SolveMaxSat(hard, {{Lit::Pos(a)}});
+  EXPECT_FALSE(r.hard_satisfiable);
+}
+
+TEST(MaxSatTest, NoSoftsReturnsModel) {
+  Cnf hard;
+  const Var a = hard.NewVar();
+  hard.AddUnit(Lit::Pos(a));
+  const auto r = SolveMaxSat(hard, {});
+  ASSERT_TRUE(r.hard_satisfiable);
+  EXPECT_EQ(r.num_satisfied, 0);
+  ASSERT_EQ(r.model.size(), 1u);
+  EXPECT_TRUE(r.model[0]);
+}
+
+TEST(MaxSatTest, AllSoftsSatisfiableKeepsAll) {
+  Cnf hard;
+  const Var a = hard.NewVar(), b = hard.NewVar();
+  (void)a;
+  (void)b;
+  const auto r = SolveMaxSat(hard, {{Lit::Pos(a)}, {Lit::Pos(b)}});
+  ASSERT_TRUE(r.hard_satisfiable);
+  EXPECT_EQ(r.num_satisfied, 2);
+}
+
+TEST(MaxSatTest, DropsMinimumNumberOfSofts) {
+  // Hard: exactly one of a, b, c (pairwise exclusion + at least one).
+  Cnf hard;
+  const Var a = hard.NewVar(), b = hard.NewVar(), c = hard.NewVar();
+  hard.AddTernary(Lit::Pos(a), Lit::Pos(b), Lit::Pos(c));
+  hard.AddBinary(Lit::Neg(a), Lit::Neg(b));
+  hard.AddBinary(Lit::Neg(a), Lit::Neg(c));
+  hard.AddBinary(Lit::Neg(b), Lit::Neg(c));
+  // Softs want all three: optimum keeps exactly one.
+  const auto r =
+      SolveMaxSat(hard, {{Lit::Pos(a)}, {Lit::Pos(b)}, {Lit::Pos(c)}});
+  ASSERT_TRUE(r.hard_satisfiable);
+  EXPECT_EQ(r.num_satisfied, 1);
+}
+
+TEST(MaxSatTest, ConflictingPairKeepsLargerSide) {
+  // Hard: ¬(a ∧ b). Softs: a, a', b  where a and a' are the same literal —
+  // the optimum keeps {a, a'} (2 softs) over {b} (1 soft).
+  Cnf hard;
+  const Var a = hard.NewVar(), b = hard.NewVar();
+  hard.AddBinary(Lit::Neg(a), Lit::Neg(b));
+  const auto r =
+      SolveMaxSat(hard, {{Lit::Pos(a)}, {Lit::Pos(a)}, {Lit::Pos(b)}});
+  ASSERT_TRUE(r.hard_satisfiable);
+  EXPECT_EQ(r.num_satisfied, 2);
+  EXPECT_TRUE(r.soft_satisfied[0]);
+  EXPECT_TRUE(r.soft_satisfied[1]);
+  EXPECT_FALSE(r.soft_satisfied[2]);
+}
+
+TEST(MaxSatTest, MultiLiteralSoftClauses) {
+  Cnf hard;
+  const Var a = hard.NewVar(), b = hard.NewVar();
+  hard.AddUnit(Lit::Neg(a));
+  const auto r = SolveMaxSat(hard, {{Lit::Pos(a), Lit::Pos(b)}});
+  ASSERT_TRUE(r.hard_satisfiable);
+  EXPECT_EQ(r.num_satisfied, 1);  // satisfied via b
+}
+
+TEST(WalkSatTest, SolvesEasySatFormula) {
+  Cnf cnf;
+  const Var a = cnf.NewVar(), b = cnf.NewVar(), c = cnf.NewVar();
+  cnf.AddTernary(Lit::Pos(a), Lit::Pos(b), Lit::Pos(c));
+  cnf.AddBinary(Lit::Neg(a), Lit::Pos(b));
+  cnf.AddUnit(Lit::Neg(c));
+  WalkSatOptions opts;
+  const auto r = RunWalkSat(cnf, opts);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.best_unsat, 0);
+}
+
+TEST(WalkSatTest, ApproximatesMaxSatOnUnsatFormula) {
+  // a and ¬a: exactly one clause must stay unsatisfied.
+  Cnf cnf;
+  const Var a = cnf.NewVar();
+  cnf.AddUnit(Lit::Pos(a));
+  cnf.AddUnit(Lit::Neg(a));
+  const auto r = RunWalkSat(cnf, {});
+  EXPECT_FALSE(r.satisfied);
+  EXPECT_EQ(r.best_unsat, 1);
+}
+
+TEST(WalkSatTest, DeterministicUnderSeed) {
+  Cnf cnf;
+  Rng rng(5);
+  for (int c = 0; c < 40; ++c) {
+    std::vector<Lit> clause;
+    for (int k = 0; k < 3; ++k) {
+      clause.push_back(
+          Lit(static_cast<Var>(rng.Below(12)), rng.Chance(0.5)));
+    }
+    cnf.AddClause(std::span<const Lit>(clause.data(), clause.size()));
+  }
+  WalkSatOptions opts;
+  opts.seed = 77;
+  const auto r1 = RunWalkSat(cnf, opts);
+  const auto r2 = RunWalkSat(cnf, opts);
+  EXPECT_EQ(r1.best_unsat, r2.best_unsat);
+  EXPECT_EQ(r1.model, r2.model);
+}
+
+TEST(WalkSatTest, AgreesWithCdclOnRandomFormulas) {
+  Rng rng(0xBEEF);
+  int checked = 0;
+  for (int round = 0; round < 60; ++round) {
+    const int n_vars = 4 + static_cast<int>(rng.Below(8));
+    const int n_clauses = 4 + static_cast<int>(rng.Below(30));
+    Cnf cnf;
+    cnf.EnsureVars(n_vars);
+    for (int c = 0; c < n_clauses; ++c) {
+      std::vector<Lit> clause;
+      const int len = 2 + static_cast<int>(rng.Below(2));
+      for (int k = 0; k < len; ++k) {
+        clause.push_back(
+            Lit(static_cast<Var>(rng.Below(n_vars)), rng.Chance(0.5)));
+      }
+      cnf.AddClause(std::span<const Lit>(clause.data(), clause.size()));
+    }
+    sat::Solver solver;
+    solver.AddCnf(cnf);
+    const bool sat = solver.Solve() == SolveResult::kSat;
+    WalkSatOptions opts;
+    opts.seed = round;
+    const auto r = RunWalkSat(cnf, opts);
+    // WalkSAT is incomplete: it may miss a satisfying assignment but must
+    // never claim satisfied on an UNSAT formula.
+    if (!sat) {
+      EXPECT_FALSE(r.satisfied) << "round " << round;
+      ++checked;
+    } else if (r.satisfied) {
+      EXPECT_EQ(r.best_unsat, 0);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+}  // namespace
+}  // namespace ccr::maxsat

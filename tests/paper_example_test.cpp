@@ -1,0 +1,151 @@
+// End-to-end walkthrough of the paper's running example (Examples 1-13),
+// exercising the full public API the way examples/quickstart.cpp does.
+
+#include <gtest/gtest.h>
+
+#include "paper_fixture.h"
+#include "src/ccr.h"
+
+namespace ccr {
+namespace {
+
+using testing::EdithSpec;
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+TEST(PaperExampleTest, Example2InferenceChainForEdith) {
+  // The five inference steps (a)-(e) of Example 2, reproduced through the
+  // deduced order Od.
+  const Specification se = EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od = DeduceOrder(*inst, phi);
+  const VarMap& vm = inst->varmap;
+  const Schema s = PaperSchema();
+
+  auto dominated_by = [&](const char* attr_name, const Value& top) {
+    const int attr = s.IndexOf(attr_name);
+    const int idx = vm.ValueIndex(attr, top);
+    EXPECT_GE(idx, 0) << attr_name;
+    EXPECT_TRUE(od.per_attr[attr].DominatesAll(idx))
+        << attr_name << " -> " << top.ToString();
+  };
+  dominated_by("status", Value::Str("deceased"));  // (a)
+  dominated_by("kids", Value::Int(3));             // (b)
+  dominated_by("job", Value::Str("n/a"));          // (c)
+  dominated_by("AC", Value::Int(213));             // (c)
+  dominated_by("zip", Value::Str("90058"));        // (c)
+  dominated_by("city", Value::Str("LA"));          // (d) via ψ1
+  dominated_by("county", Value::Str("Vermont"));   // (e) via ϕ8
+}
+
+TEST(PaperExampleTest, Example4CurrentTupleShape) {
+  // For any valid completion of E2, the current tuple has fixed name and
+  // kids but open status/job/city/AC/zip/county.
+  auto r = Resolve(GeorgeSpec(), nullptr);
+  ASSERT_TRUE(r.ok());
+  const Schema s = PaperSchema();
+  EXPECT_TRUE(r->resolved[s.IndexOf("name")]);
+  EXPECT_TRUE(r->resolved[s.IndexOf("kids")]);
+  EXPECT_EQ(r->true_values[s.IndexOf("kids")], Value::Int(2));
+  int unresolved = 0;
+  for (bool res : r->resolved) unresolved += res ? 0 : 1;
+  EXPECT_EQ(unresolved, 6);
+}
+
+TEST(PaperExampleTest, Example6UserOrderCompletesGeorge) {
+  // Providing r6 ≺status r5 ("status changed from unemployed to retired")
+  // makes T(Se ⊕ Ot) = (George, retired, veteran, 2, NY, 212, 12404,
+  // Accord).
+  Specification se = GeorgeSpec();
+  const Schema s = PaperSchema();
+  PartialTemporalOrder ot;
+  ot.orders.emplace_back(s.IndexOf("status"), 2, 1);  // r6 ≺ r5
+  auto extended = Extend(se, ot);
+  ASSERT_TRUE(extended.ok());
+  auto r = Resolve(*extended, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->complete);
+  EXPECT_EQ(r->true_values[s.IndexOf("status")], Value::Str("retired"));
+  EXPECT_EQ(r->true_values[s.IndexOf("job")], Value::Str("veteran"));
+  EXPECT_EQ(r->true_values[s.IndexOf("city")], Value::Str("NY"));
+  EXPECT_EQ(r->true_values[s.IndexOf("AC")], Value::Int(212));
+  EXPECT_EQ(r->true_values[s.IndexOf("zip")], Value::Str("12404"));
+  EXPECT_EQ(r->true_values[s.IndexOf("county")], Value::Str("Accord"));
+}
+
+TEST(PaperExampleTest, Example13ConflictingCliqueIsRepairedByMaxSat) {
+  // Clique C2 = {n5, n6, n8} of Fig. 6 embeds conflicting values (212 vs
+  // 312 as latest AC). GetSug must never emit a rule set that conflicts
+  // with Se — verified by asserting all kept rules simultaneously.
+  const Specification se = GeorgeSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od = DeduceOrder(*inst, phi);
+  const auto known = ExtractTrueValueIndices(inst->varmap, od);
+  const auto candidates = CandidateValues(inst->varmap, od);
+  const Suggestion sug = Suggest(*inst, phi, candidates, known);
+
+  // All kept rules must agree on shared attributes (pairwise compatible)
+  // *and* be jointly realizable.
+  const VarMap& vm = inst->varmap;
+  sat::Cnf check = phi;
+  for (const DerivationRule& r : sug.clique_rules) {
+    auto dominate = [&](int attr, int idx) {
+      const int d = static_cast<int>(vm.domain(attr).size());
+      for (int other = 0; other < d; ++other) {
+        if (other != idx) {
+          check.AddUnit(sat::Lit::Pos(vm.VarOf(attr, other, idx)));
+        }
+      }
+    };
+    for (const auto& [attr, v] : r.lhs) dominate(attr, v);
+    dominate(r.rhs_attr, r.rhs_value);
+  }
+  sat::Solver solver;
+  solver.AddCnf(check);
+  EXPECT_EQ(solver.Solve(), sat::SolveResult::kSat);
+}
+
+TEST(PaperExampleTest, FullInteractiveSessionForGeorge) {
+  // The complete Fig. 4 loop with a ground-truth oracle, as in §VI.
+  const Schema s = PaperSchema();
+  std::vector<Value> truth(s.size(), Value::Null());
+  truth[s.IndexOf("name")] = Value::Str("George Mendonca");
+  truth[s.IndexOf("status")] = Value::Str("retired");
+  truth[s.IndexOf("job")] = Value::Str("veteran");
+  truth[s.IndexOf("kids")] = Value::Int(2);
+  truth[s.IndexOf("city")] = Value::Str("NY");
+  truth[s.IndexOf("AC")] = Value::Int(212);
+  truth[s.IndexOf("zip")] = Value::Str("12404");
+  truth[s.IndexOf("county")] = Value::Str("Accord");
+  TruthOracle oracle(truth);
+  auto r = Resolve(GeorgeSpec(), &oracle);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->complete);
+  for (int a = 0; a < s.size(); ++a) {
+    EXPECT_EQ(r->true_values[a], truth[a]) << s.name(a);
+  }
+  // At most 2 interaction rounds, as reported for real data in §VI.
+  EXPECT_LE(r->rounds_used, 2);
+}
+
+TEST(PaperExampleTest, AccuracyMetricsOnTheExample) {
+  // Score the automatic resolution of Edith against her true values.
+  const Schema s = PaperSchema();
+  auto r = Resolve(EdithSpec(), nullptr);
+  ASSERT_TRUE(r.ok());
+  std::vector<Value> truth = r->true_values;  // all correct by Example 2
+  const AccuracyCounts counts = ScoreAssignment(
+      EdithSpec().instance(), truth, r->true_values, r->resolved);
+  EXPECT_DOUBLE_EQ(counts.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.F1(), 1.0);
+  // All 7 non-name attributes conflict in E1.
+  EXPECT_EQ(counts.conflicts, 7);
+}
+
+}  // namespace
+}  // namespace ccr

@@ -1,0 +1,162 @@
+// Unit tests for the constraint DSL parser (src/constraints/parser.h).
+
+#include <gtest/gtest.h>
+
+#include "src/constraints/parser.h"
+
+namespace ccr {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Schema schema_ = Schema::Make({"name", "status", "job", "kids", "city",
+                                 "AC", "zip", "county"})
+                       .value();
+};
+
+TEST_F(ParserTest, LiteralString) {
+  auto v = ParseValueLiteral("'working'");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Str("working"));
+}
+
+TEST_F(ParserTest, LiteralInt) {
+  auto v = ParseValueLiteral("213");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(213));
+}
+
+TEST_F(ParserTest, LiteralDouble) {
+  auto v = ParseValueLiteral("2.5");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Real(2.5));
+}
+
+TEST_F(ParserTest, LiteralNull) {
+  auto v = ParseValueLiteral(" null ");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+}
+
+TEST_F(ParserTest, LiteralGarbageFails) {
+  EXPECT_FALSE(ParseValueLiteral("un'quoted").ok());
+}
+
+TEST_F(ParserTest, Phi1OfFig3) {
+  auto phi = ParseCurrencyConstraint(
+      schema_, "t1[status] = 'working' & t2[status] = 'retired' -> status");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(phi->head_attr(), 1);
+  ASSERT_EQ(phi->constant_predicates().size(), 2u);
+  EXPECT_EQ(phi->constant_predicates()[0].tuple_ref, 1);
+  EXPECT_EQ(phi->constant_predicates()[0].constant, Value::Str("working"));
+  EXPECT_EQ(phi->constant_predicates()[1].tuple_ref, 2);
+  EXPECT_TRUE(phi->order_predicates().empty());
+  EXPECT_TRUE(phi->IsComparisonOnly());
+}
+
+TEST_F(ParserTest, Phi4OfFig3) {
+  auto phi = ParseCurrencyConstraint(schema_, "t1[kids] < t2[kids] -> kids");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(phi->head_attr(), 3);
+  ASSERT_EQ(phi->compare_predicates().size(), 1u);
+  EXPECT_EQ(phi->compare_predicates()[0].op, CmpOp::kLt);
+  EXPECT_EQ(phi->compare_predicates()[0].attr, 3);
+}
+
+TEST_F(ParserTest, Phi5OfFig3) {
+  auto phi = ParseCurrencyConstraint(schema_, "prec(status) -> job");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(phi->head_attr(), 2);
+  ASSERT_EQ(phi->order_predicates().size(), 1u);
+  EXPECT_EQ(phi->order_predicates()[0].attr, 1);
+  EXPECT_FALSE(phi->IsComparisonOnly());
+}
+
+TEST_F(ParserTest, Phi8OfFig3) {
+  auto phi =
+      ParseCurrencyConstraint(schema_, "prec(city) & prec(zip) -> county");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_EQ(phi->head_attr(), 7);
+  EXPECT_EQ(phi->order_predicates().size(), 2u);
+}
+
+TEST_F(ParserTest, UnconditionalConstraint) {
+  auto phi = ParseCurrencyConstraint(schema_, "true -> kids");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_TRUE(phi->order_predicates().empty());
+  EXPECT_TRUE(phi->compare_predicates().empty());
+  EXPECT_TRUE(phi->constant_predicates().empty());
+}
+
+TEST_F(ParserTest, OperatorVariants) {
+  for (const char* op : {"=", "!=", "<", "<=", ">", ">="}) {
+    auto phi = ParseCurrencyConstraint(
+        schema_, std::string("t1[kids] ") + op + " t2[kids] -> kids");
+    ASSERT_TRUE(phi.ok()) << op;
+  }
+}
+
+TEST_F(ParserTest, NumericConstantComparison) {
+  auto phi = ParseCurrencyConstraint(schema_, "t2[kids] >= 3 -> kids");
+  ASSERT_TRUE(phi.ok());
+  ASSERT_EQ(phi->constant_predicates().size(), 1u);
+  EXPECT_EQ(phi->constant_predicates()[0].op, CmpOp::kGe);
+  EXPECT_EQ(phi->constant_predicates()[0].constant, Value::Int(3));
+}
+
+TEST_F(ParserTest, RejectsMissingArrow) {
+  EXPECT_FALSE(ParseCurrencyConstraint(schema_, "t1[kids] < t2[kids]").ok());
+}
+
+TEST_F(ParserTest, RejectsUnknownAttribute) {
+  EXPECT_FALSE(
+      ParseCurrencyConstraint(schema_, "t1[wat] = 'x' -> status").ok());
+  EXPECT_FALSE(
+      ParseCurrencyConstraint(schema_, "t1[kids] < t2[kids] -> wat").ok());
+}
+
+TEST_F(ParserTest, RejectsMixedAttrComparison) {
+  EXPECT_FALSE(
+      ParseCurrencyConstraint(schema_, "t1[kids] < t2[zip] -> kids").ok());
+}
+
+TEST_F(ParserTest, RejectsBareLhs) {
+  EXPECT_FALSE(
+      ParseCurrencyConstraint(schema_, "kids < t2[kids] -> kids").ok());
+}
+
+TEST_F(ParserTest, Psi1OfFig3) {
+  auto psi = ParseCfd(schema_, "AC = 213 -> city = 'LA'");
+  ASSERT_TRUE(psi.ok());
+  ASSERT_EQ(psi->lhs().size(), 1u);
+  EXPECT_EQ(psi->lhs()[0].first, 5);
+  EXPECT_EQ(psi->lhs()[0].second, Value::Int(213));
+  EXPECT_EQ(psi->rhs_attr(), 4);
+  EXPECT_EQ(psi->rhs_value(), Value::Str("LA"));
+}
+
+TEST_F(ParserTest, MultiAttributeCfd) {
+  auto psi =
+      ParseCfd(schema_, "city = 'NY' & zip = '10036' -> county = 'Manhattan'");
+  ASSERT_TRUE(psi.ok());
+  EXPECT_EQ(psi->lhs().size(), 2u);
+}
+
+TEST_F(ParserTest, CfdRejectsNonEquality) {
+  EXPECT_FALSE(ParseCfd(schema_, "AC < 213 -> city = 'LA'").ok());
+  EXPECT_FALSE(ParseCfd(schema_, "AC = 213 -> city < 'LA'").ok());
+}
+
+TEST_F(ParserTest, RoundTripThroughToString) {
+  auto phi = ParseCurrencyConstraint(
+      schema_, "t1[status] = 'working' & t2[status] = 'retired' -> status");
+  ASSERT_TRUE(phi.ok());
+  // ToString renders something parseable in spirit; check key parts.
+  const std::string s = phi->ToString(schema_);
+  EXPECT_NE(s.find("status"), std::string::npos);
+  EXPECT_NE(s.find("working"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccr

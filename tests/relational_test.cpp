@@ -1,0 +1,154 @@
+// Unit tests for src/relational: Value, Schema, Tuple, EntityInstance.
+
+#include <gtest/gtest.h>
+
+#include "src/relational/entity_instance.h"
+
+namespace ccr {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, FactoryTypes) {
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Real(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Str("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+}
+
+TEST(ValueTest, EqualitySameType) {
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Int(4));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, IntAndDoubleCompareNumerically) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_NE(Value::Int(3), Value::Real(3.5));
+  EXPECT_LT(Value::Int(3), Value::Real(3.5));
+}
+
+TEST(ValueTest, NullRanksLowest) {
+  // Example 2(b): null < k for any value k.
+  EXPECT_LT(Value::Null(), Value::Int(-100));
+  EXPECT_LT(Value::Null(), Value::Str(""));
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, NumbersBeforeStrings) {
+  EXPECT_LT(Value::Int(999), Value::Str("0"));
+}
+
+TEST(ValueTest, StringOrderIsLexicographic) {
+  EXPECT_LT(Value::Str("NY"), Value::Str("SFC"));
+  EXPECT_GT(Value::Str("b"), Value::Str("a"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(SchemaTest, MakeAndLookup) {
+  auto s = Schema::Make({"name", "status", "job"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 3);
+  EXPECT_EQ(s->IndexOf("status"), 1);
+  EXPECT_EQ(s->IndexOf("missing"), -1);
+  EXPECT_EQ(s->name(2), "job");
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto s = Schema::Make({"a", "b", "a"});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RequireReturnsNotFound) {
+  auto s = Schema::Make({"a"}).value();
+  EXPECT_TRUE(s.Require("a").ok());
+  EXPECT_EQ(s.Require("zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(TupleTest, AccessAndEquality) {
+  Tuple t({Value::Str("x"), Value::Int(1)});
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.at(0), Value::Str("x"));
+  EXPECT_EQ(t[1], Value::Int(1));
+  EXPECT_EQ(t, Tuple({Value::Str("x"), Value::Int(1)}));
+  EXPECT_NE(t, Tuple({Value::Str("x"), Value::Int(2)}));
+}
+
+TEST(TupleTest, ToStringFormats) {
+  Tuple t({Value::Str("a"), Value::Null()});
+  EXPECT_EQ(t.ToString(), "(a, null)");
+  Schema s = Schema::Make({"n", "k"}).value();
+  EXPECT_EQ(t.ToString(s), "n=a, k=null");
+}
+
+class EntityInstanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = Schema::Make({"name", "city", "kids"}).value();
+    instance_ = EntityInstance(schema_, "edith");
+    ASSERT_TRUE(instance_
+                    .Add(Tuple({Value::Str("Edith"), Value::Str("NY"),
+                                Value::Int(0)}))
+                    .ok());
+    ASSERT_TRUE(instance_
+                    .Add(Tuple({Value::Str("Edith"), Value::Str("SFC"),
+                                Value::Int(3)}))
+                    .ok());
+    ASSERT_TRUE(instance_
+                    .Add(Tuple({Value::Str("Edith"), Value::Str("NY"),
+                                Value::Null()}))
+                    .ok());
+  }
+
+  Schema schema_;
+  EntityInstance instance_;
+};
+
+TEST_F(EntityInstanceTest, SizeAndAccess) {
+  EXPECT_EQ(instance_.size(), 3);
+  EXPECT_EQ(instance_.entity_id(), "edith");
+  EXPECT_EQ(instance_.tuple(1).at(1), Value::Str("SFC"));
+}
+
+TEST_F(EntityInstanceTest, RejectsWrongArity) {
+  EXPECT_FALSE(instance_.Add(Tuple({Value::Str("x")})).ok());
+}
+
+TEST_F(EntityInstanceTest, ActiveDomainDedupesAndSkipsNulls) {
+  const auto cities = instance_.ActiveDomain(1);
+  ASSERT_EQ(cities.size(), 2u);
+  EXPECT_EQ(cities[0], Value::Str("NY"));  // first-occurrence order
+  EXPECT_EQ(cities[1], Value::Str("SFC"));
+  const auto kids = instance_.ActiveDomain(2);
+  EXPECT_EQ(kids.size(), 2u);  // null excluded
+}
+
+TEST_F(EntityInstanceTest, ConflictDetection) {
+  EXPECT_FALSE(instance_.HasConflict(0));  // name is constant
+  EXPECT_TRUE(instance_.HasConflict(1));
+  EXPECT_TRUE(instance_.HasConflict(2));
+  EXPECT_EQ(instance_.CountConflictAttributes(), 2);
+}
+
+TEST(EntityInstanceEmptyTest, EmptyInstance) {
+  EntityInstance e(Schema::Make({"a"}).value(), "none");
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(e.ActiveDomain(0).empty());
+  EXPECT_EQ(e.CountConflictAttributes(), 0);
+}
+
+}  // namespace
+}  // namespace ccr

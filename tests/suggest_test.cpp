@@ -1,0 +1,135 @@
+// Tests for Suggest / GetSug (§V-C.2), against Example 12: for George the
+// suggestion is A = {status} with V(status) = {retired, unemployed}.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "paper_fixture.h"
+#include "src/core/suggest.h"
+#include "src/encode/cnf_builder.h"
+
+namespace ccr {
+namespace {
+
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+class SuggestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    se_ = GeorgeSpec();
+    auto inst = Instantiation::Build(se_);
+    ASSERT_TRUE(inst.ok());
+    inst_ = std::move(inst).value();
+    phi_ = BuildCnf(inst_);
+    od_ = DeduceOrder(inst_, phi_);
+    known_ = ExtractTrueValueIndices(inst_.varmap, od_);
+    candidates_ = CandidateValues(inst_.varmap, od_);
+  }
+
+  std::vector<Value> AttrCandidates(const Suggestion& sug,
+                                    const std::string& attr_name) const {
+    const int attr = PaperSchema().IndexOf(attr_name);
+    std::vector<Value> out;
+    for (size_t i = 0; i < sug.attrs.size(); ++i) {
+      if (sug.attrs[i] != attr) continue;
+      for (int v : sug.candidates[i]) {
+        out.push_back(inst_.varmap.domain(attr)[v]);
+      }
+    }
+    return out;
+  }
+
+  Specification se_;
+  Instantiation inst_;
+  sat::Cnf phi_;
+  DeducedOrders od_;
+  std::vector<int> known_;
+  std::vector<std::vector<int>> candidates_;
+};
+
+TEST_F(SuggestTest, Example12GeorgeSuggestion) {
+  const Suggestion sug = Suggest(inst_, phi_, candidates_, known_);
+  const Schema schema = PaperSchema();
+  // A = {status}: validating status determines everything else.
+  ASSERT_EQ(sug.attrs.size(), 1u);
+  EXPECT_EQ(schema.name(sug.attrs[0]), "status");
+  // V(status) = {retired, unemployed}.
+  const auto cands = AttrCandidates(sug, "status");
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_NE(std::find(cands.begin(), cands.end(), Value::Str("retired")),
+            cands.end());
+  EXPECT_NE(
+      std::find(cands.begin(), cands.end(), Value::Str("unemployed")),
+      cands.end());
+  // A' = {job, AC, zip, city, county}.
+  std::vector<std::string> derivable;
+  for (int a : sug.derivable_attrs) derivable.push_back(schema.name(a));
+  std::sort(derivable.begin(), derivable.end());
+  EXPECT_EQ(derivable, (std::vector<std::string>{"AC", "city", "county",
+                                                 "job", "zip"}));
+}
+
+TEST_F(SuggestTest, CliqueRulesAreConflictFreeWithSe) {
+  // GetSug output must be realizable: asserting every kept rule's values
+  // on top of Φ(Se) stays satisfiable.
+  const Suggestion sug = Suggest(inst_, phi_, candidates_, known_);
+  sat::Cnf check = phi_;
+  const VarMap& vm = inst_.varmap;
+  for (const DerivationRule& r : sug.clique_rules) {
+    auto dominate = [&](int attr, int idx) {
+      const int d = static_cast<int>(vm.domain(attr).size());
+      for (int other = 0; other < d; ++other) {
+        if (other != idx) {
+          check.AddUnit(sat::Lit::Pos(vm.VarOf(attr, other, idx)));
+        }
+      }
+    };
+    for (const auto& [attr, v] : r.lhs) dominate(attr, v);
+    dominate(r.rhs_attr, r.rhs_value);
+  }
+  sat::Solver solver;
+  solver.AddCnf(check);
+  EXPECT_EQ(solver.Solve(), sat::SolveResult::kSat);
+}
+
+TEST_F(SuggestTest, GreedyCliqueModeAlsoWorks) {
+  SuggestOptions opts;
+  opts.exact_clique = false;
+  const Suggestion sug = Suggest(inst_, phi_, candidates_, known_, opts);
+  // Still a valid suggestion: asks about some unresolved attribute.
+  EXPECT_FALSE(sug.attrs.empty());
+  for (int a : sug.attrs) EXPECT_LT(known_[a], 0);
+}
+
+TEST_F(SuggestTest, SuggestionSkipsResolvedAttributes) {
+  const Suggestion sug = Suggest(inst_, phi_, candidates_, known_);
+  const Schema schema = PaperSchema();
+  for (int a : sug.attrs) {
+    EXPECT_NE(schema.name(a), "name");
+    EXPECT_NE(schema.name(a), "kids");
+  }
+}
+
+TEST_F(SuggestTest, ToStringMentionsAttributes) {
+  const Suggestion sug = Suggest(inst_, phi_, candidates_, known_);
+  const std::string s = sug.ToString(inst_.varmap, PaperSchema());
+  EXPECT_NE(s.find("status"), std::string::npos);
+}
+
+TEST_F(SuggestTest, FullyResolvedEntityYieldsEmptySuggestion) {
+  // Edith resolves automatically; the suggestion must be empty.
+  Specification se = testing::EdithSpec();
+  auto inst = Instantiation::Build(se);
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od = DeduceOrder(*inst, phi);
+  const auto known = ExtractTrueValueIndices(inst->varmap, od);
+  const auto candidates = CandidateValues(inst->varmap, od);
+  const Suggestion sug = Suggest(*inst, phi, candidates, known);
+  EXPECT_TRUE(sug.attrs.empty());
+}
+
+}  // namespace
+}  // namespace ccr
