@@ -1,0 +1,29 @@
+# Makes GTest::gtest_main available, trying progressively heavier sources:
+#
+#   1. an installed GoogleTest (find_package) — instant, fully offline;
+#   2. the distro source tree under /usr/src/googletest (Debian/Ubuntu
+#      libgtest-dev ships sources only) — offline build from source;
+#   3. FetchContent from GitHub — only reached on hosts with neither
+#      package, and the only step that needs the network.
+
+find_package(GTest QUIET)
+if(GTest_FOUND)
+  message(STATUS "ccr: using system GoogleTest")
+elseif(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "ccr: building GoogleTest from /usr/src/googletest")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest ${CMAKE_BINARY_DIR}/_deps/googletest
+                   EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest ALIAS gtest)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+else()
+  message(STATUS "ccr: fetching GoogleTest via FetchContent")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()

@@ -1,0 +1,16 @@
+# Defines the ccr_warnings INTERFACE target that every ccr target links
+# against. CCR_WERROR=ON upgrades warnings to errors (the CI gate).
+
+add_library(ccr_warnings INTERFACE)
+
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  target_compile_options(ccr_warnings INTERFACE -Wall -Wextra)
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    # GCC 12 false-positives on std::variant<T, Status> moves
+    # (PR 105562 and friends); the check is too noisy to gate on.
+    target_compile_options(ccr_warnings INTERFACE -Wno-maybe-uninitialized)
+  endif()
+  if(CCR_WERROR)
+    target_compile_options(ccr_warnings INTERFACE -Werror)
+  endif()
+endif()

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds the bench/ group (and nothing else it doesn't need) in Release
+# mode, then prints how to run each binary. Perf PRs use these by hand;
+# CI only builds them so they cannot rot.
+#
+# Usage: scripts/bench.sh [build-dir]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-bench}"
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCCR_BUILD_TESTS=OFF)
+if [[ -z "${CMAKE_GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-G Ninja)
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j --target bench
+
+echo
+echo "Bench binaries built under $BUILD_DIR/bench:"
+ls "$BUILD_DIR"/bench/bench_* 2>/dev/null | grep -v CMakeFiles || true

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure + build + test, exactly as ROADMAP.md specifies.
+#
+#   cmake -B build -S . && cmake --build build -j && \
+#     cd build && ctest --output-on-failure -j
+#
+# Usage: scripts/check.sh [build-dir]
+# Environment:
+#   CCR_WERROR=ON      gate the build on warnings (CI sets this)
+#   CMAKE_GENERATOR    honored as usual (Ninja is used when available)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
+if [[ -n "${CCR_WERROR:-}" ]]; then
+  CMAKE_ARGS+=(-DCCR_WERROR="$CCR_WERROR")
+fi
+if [[ -z "${CMAKE_GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-G Ninja)
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j
+cd "$BUILD_DIR"
+ctest --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"

@@ -49,6 +49,9 @@ Result<Cnf> FromDimacs(const std::string& text) {
         clause.clear();
       } else {
         const Var v = static_cast<Var>((x > 0 ? x : -x) - 1);
+        // Headerless input must still satisfy the Cnf invariant that every
+        // clause ranges over [0, num_vars).
+        cnf.EnsureVars(v + 1);
         clause.push_back(Lit(v, x < 0));
       }
     }
