@@ -1,0 +1,178 @@
+// bench_throughput: batch resolution throughput (entities/sec) and the
+// ResolutionSession's incremental-extension advantage over the legacy
+// re-encode-every-round path.
+//
+// Unlike the Fig. 8 reproduction benches, this one emits machine-readable
+// JSON on stdout (scripts/bench.sh redirects it into
+// BENCH_throughput.json) so the repo's perf trajectory can be tracked
+// across PRs. Two sections:
+//   * "incremental": Person entities with >= 1k tuples driven through
+//     >= 3 one-answer oracle rounds, session vs. legacy engine; compares
+//     the summed encode+validity time of rounds >= 1 (the rounds where
+//     the session appends instead of rebuilding) and checks the two
+//     engines resolve identically.
+//   * "thread_scaling": RunExperiment entities/sec at 1 and N threads
+//     (N = CCR_BENCH_THREADS, default 8) over the same corpus, plus a
+//     determinism check of the pooled accuracy vectors.
+//
+// CCR_BENCH_SCALE multiplies entity counts as in the other benches.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "bench_util.h"
+#include "src/common/timer.h"
+
+namespace ccr {
+namespace {
+
+int BenchThreads() {
+  const char* env = std::getenv("CCR_BENCH_THREADS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 8;
+}
+
+Dataset BigPersonCorpus(int num_entities) {
+  PersonOptions opts;
+  opts.num_entities = num_entities;
+  opts.min_tuples = 1000;
+  opts.max_tuples = 1200;
+  opts.seed = 90210;
+  // Histories rich in gap steps and mid-stage moves: several attributes
+  // whose currency information genuinely is not in Σ, so a one-answer
+  // oracle needs several rounds (the Fig. 8(m) regime, scaled up).
+  opts.p_status_gap = 0.55;
+  opts.p_move_only = 0.70;
+  return GeneratePerson(opts);
+}
+
+bool SameResolution(const ResolveResult& a, const ResolveResult& b) {
+  if (a.valid != b.valid || a.complete != b.complete ||
+      a.rounds_used != b.rounds_used || a.resolved != b.resolved) {
+    return false;
+  }
+  for (size_t i = 0; i < a.true_values.size(); ++i) {
+    if (!(a.true_values[i] == b.true_values[i])) return false;
+  }
+  return true;
+}
+
+bool SameAccuracy(const ExperimentResult& a, const ExperimentResult& b) {
+  if (a.accuracy_by_round.size() != b.accuracy_by_round.size()) return false;
+  for (size_t k = 0; k < a.accuracy_by_round.size(); ++k) {
+    if (a.accuracy_by_round[k].deduced != b.accuracy_by_round[k].deduced ||
+        a.accuracy_by_round[k].correct != b.accuracy_by_round[k].correct ||
+        a.accuracy_by_round[k].conflicts !=
+            b.accuracy_by_round[k].conflicts) {
+      return false;
+    }
+  }
+  return a.pct_true_by_round == b.pct_true_by_round;
+}
+
+}  // namespace
+}  // namespace ccr
+
+int main() {
+  using namespace ccr;
+  const int scale = bench::BenchScale();
+
+  // --- incremental round extension vs. full per-round rebuild ------------
+  const Dataset inc_ds = BigPersonCorpus(4 * scale);
+  ResolveOptions session_opts;
+  session_opts.use_session = true;
+  ResolveOptions legacy_opts;
+  legacy_opts.use_session = false;
+
+  double session_ms = 0;     // rounds >= 1, encode + validity
+  double legacy_ms = 0;
+  int max_oracle_rounds = 0;
+  int min_tuples = 1 << 30;
+  int resolve_errors = 0;  // entities skipped (not an equivalence verdict)
+  bool identical = true;
+  for (size_t e = 0; e < inc_ds.entities.size(); ++e) {
+    min_tuples = std::min(min_tuples, inc_ds.entities[e].instance.size());
+    // One answer per round forces several interaction rounds.
+    TruthOracle o1(inc_ds.entities[e].truth, /*answers_per_round=*/1);
+    TruthOracle o2(inc_ds.entities[e].truth, /*answers_per_round=*/1);
+    session_opts.max_rounds = 6;
+    legacy_opts.max_rounds = 6;
+    auto rs = Resolve(inc_ds.MakeSpec(static_cast<int>(e)), &o1,
+                      session_opts);
+    auto rl = Resolve(inc_ds.MakeSpec(static_cast<int>(e)), &o2,
+                      legacy_opts);
+    if (!rs.ok() || !rl.ok()) {
+      ++resolve_errors;
+      continue;
+    }
+    identical = identical && SameResolution(*rs, *rl);
+    max_oracle_rounds = std::max(max_oracle_rounds, rs->rounds_used);
+    for (const RoundTrace& t : rs->trace) {
+      if (t.round >= 1) session_ms += t.encode_ms + t.validity_ms;
+    }
+    for (const RoundTrace& t : rl->trace) {
+      if (t.round >= 1) legacy_ms += t.encode_ms + t.validity_ms;
+    }
+  }
+  const double inc_speedup = session_ms > 0 ? legacy_ms / session_ms : 0.0;
+
+  // --- batch driver thread scaling ---------------------------------------
+  const int n_threads = BenchThreads();
+  const Dataset batch_ds = BigPersonCorpus(2 * n_threads * scale);
+  ExperimentOptions eopts;
+  eopts.max_rounds = 3;
+  eopts.answers_per_round = 1;
+
+  eopts.num_threads = 1;
+  Timer timer;
+  const ExperimentResult r1 = RunExperiment(batch_ds, eopts);
+  const double t1_sec = timer.ElapsedMs() / 1000.0;
+
+  eopts.num_threads = n_threads;
+  timer.Restart();
+  const ExperimentResult rn = RunExperiment(batch_ds, eopts);
+  const double tn_sec = timer.ElapsedMs() / 1000.0;
+
+  const int n_entities = static_cast<int>(batch_ds.entities.size());
+  const double eps1 = t1_sec > 0 ? n_entities / t1_sec : 0.0;
+  const double epsn = tn_sec > 0 ? n_entities / tn_sec : 0.0;
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"throughput\",\n");
+  std::printf("  \"scale\": %d,\n", scale);
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"incremental\": {\n");
+  std::printf("    \"entities\": %d,\n",
+              static_cast<int>(inc_ds.entities.size()));
+  std::printf("    \"min_tuples_per_entity\": %d,\n", min_tuples);
+  std::printf("    \"oracle_rounds\": %d,\n", max_oracle_rounds);
+  std::printf("    \"session_round1plus_encode_validity_ms\": %.3f,\n",
+              session_ms);
+  std::printf("    \"legacy_round1plus_encode_validity_ms\": %.3f,\n",
+              legacy_ms);
+  std::printf("    \"speedup\": %.3f,\n", inc_speedup);
+  std::printf("    \"resolve_errors\": %d,\n", resolve_errors);
+  std::printf("    \"identical_results\": %s\n", identical ? "true" : "false");
+  std::printf("  },\n");
+  std::printf("  \"thread_scaling\": {\n");
+  std::printf("    \"entities\": %d,\n", n_entities);
+  std::printf("    \"threads\": %d,\n", n_threads);
+  std::printf("    \"t1_seconds\": %.3f,\n", t1_sec);
+  std::printf("    \"tN_seconds\": %.3f,\n", tn_sec);
+  std::printf("    \"t1_entities_per_sec\": %.3f,\n", eps1);
+  std::printf("    \"tN_entities_per_sec\": %.3f,\n", epsn);
+  std::printf("    \"speedup\": %.3f,\n",
+              tn_sec > 0 ? t1_sec / tn_sec : 0.0);
+  std::printf("    \"deterministic\": %s\n",
+              SameAccuracy(r1, rn) ? "true" : "false");
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}

@@ -3,6 +3,10 @@
 # mode, then prints how to run each binary. Perf PRs use these by hand;
 # CI only builds them so they cannot rot.
 #
+# bench_throughput additionally runs and its JSON lands in
+# BENCH_throughput.json at the repo root — the machine-readable perf
+# trajectory tracked across PRs. Skip it with CCR_BENCH_SKIP_RUN=1.
+#
 # Usage: scripts/bench.sh [build-dir]
 
 set -euo pipefail
@@ -21,3 +25,9 @@ cmake --build "$BUILD_DIR" -j --target bench
 echo
 echo "Bench binaries built under $BUILD_DIR/bench:"
 ls "$BUILD_DIR"/bench/bench_* 2>/dev/null | grep -v CMakeFiles || true
+
+if [[ -z "${CCR_BENCH_SKIP_RUN:-}" ]]; then
+  echo
+  echo "Running bench_throughput -> BENCH_throughput.json"
+  "$BUILD_DIR"/bench/bench_throughput | tee BENCH_throughput.json
+fi

@@ -7,6 +7,9 @@
 # Usage: scripts/check.sh [build-dir]
 # Environment:
 #   CCR_WERROR=ON      gate the build on warnings (CI sets this)
+#   CCR_BUILD_TYPE=... override the CMake build type (e.g. Release; the
+#                      CI release job runs the whole suite with -O2/NDEBUG
+#                      so the perf-path code is tested as benchmarked)
 #   CMAKE_GENERATOR    honored as usual (Ninja is used when available)
 
 set -euo pipefail
@@ -17,6 +20,9 @@ BUILD_DIR="${1:-build}"
 CMAKE_ARGS=(-B "$BUILD_DIR" -S .)
 if [[ -n "${CCR_WERROR:-}" ]]; then
   CMAKE_ARGS+=(-DCCR_WERROR="$CCR_WERROR")
+fi
+if [[ -n "${CCR_BUILD_TYPE:-}" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$CCR_BUILD_TYPE")
 fi
 if [[ -z "${CMAKE_GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
   CMAKE_ARGS+=(-G Ninja)

@@ -24,6 +24,7 @@
 #include "src/core/implication.h"
 #include "src/core/isvalid.h"
 #include "src/core/resolver.h"
+#include "src/core/session.h"
 #include "src/core/suggest.h"
 #include "src/data/career_generator.h"
 #include "src/data/dataset.h"

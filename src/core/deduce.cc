@@ -103,12 +103,17 @@ DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
 
 DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
                           const sat::SolverOptions& options) {
+  sat::Solver solver(options);
+  solver.AddCnf(phi);
+  return NaiveDeduceShared(inst, &solver);
+}
+
+DeducedOrders NaiveDeduceShared(const Instantiation& inst,
+                                sat::Solver* solver) {
   const VarMap& vm = inst.varmap;
   DeducedOrders od = MakeEmptyOrders(vm);
 
-  sat::Solver solver(options);
-  solver.AddCnf(phi);
-  if (solver.Solve() != sat::SolveResult::kSat) return od;  // invalid Se
+  if (solver->Solve() != sat::SolveResult::kSat) return od;  // invalid Se
 
   for (int a = 0; a < vm.num_attrs(); ++a) {
     const int d = static_cast<int>(vm.domain(a).size());
@@ -119,8 +124,8 @@ DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
         const sat::Var x = vm.VarOf(a, i, j);
         // Lemma 6: Se |= (i ≺ j) iff Φ(Se) ∧ ¬x is unsatisfiable.
         const auto r =
-            solver.SolveWithAssumptions({sat::Lit::Neg(x)});
-        if (r == sat::SolveResult::kUnsat && !solver.IsUnsatForever()) {
+            solver->SolveWithAssumptions({sat::Lit::Neg(x)});
+        if (r == sat::SolveResult::kUnsat && !solver->IsUnsatForever()) {
           (void)od.per_attr[a].Add(i, j);
         }
       }

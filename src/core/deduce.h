@@ -55,6 +55,13 @@ DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
 DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
                           const sat::SolverOptions& options = {});
 
+/// NaiveDeduce against a caller-owned solver already holding Φ(Se)'s
+/// clauses (the ResolutionSession shares one solver across validity,
+/// deduction and rounds; learnt clauses carry over). The outcome of each
+/// implication check is semantic — identical to the fresh-solver variant.
+DeducedOrders NaiveDeduceShared(const Instantiation& inst,
+                                sat::Solver* solver);
+
 /// True-value extraction (§V-B): value v is the true value of attribute A
 /// iff it dominates every other domain value of A in Od. Returns one
 /// domain index per attribute, or -1 when the true value is not derivable

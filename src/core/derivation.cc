@@ -33,6 +33,21 @@ bool Admissible(const std::vector<std::vector<int>>& candidates,
   return std::find(cands.begin(), cands.end(), v) != cands.end();
 }
 
+// Candidate indices reordered by the values they denote (the library-wide
+// total Value order). Domain *positions* are an artifact of encoding
+// history — an incrementally extended VarMap appends new values after
+// CFD constants, a rebuild interleaves them — so iterating candidates by
+// position would make rule enumeration depend on which path produced the
+// encoding. Value order is identical for both.
+std::vector<int> SortedByValue(const VarMap& vm, int attr,
+                               const std::vector<int>& cands) {
+  std::vector<int> out = cands;
+  std::sort(out.begin(), out.end(), [&](int a, int b) {
+    return vm.domain(attr)[a].Compare(vm.domain(attr)[b]) < 0;
+  });
+  return out;
+}
+
 }  // namespace
 
 std::vector<DerivationRule> TrueDer(
@@ -46,17 +61,18 @@ std::vector<DerivationRule> TrueDer(
   // provided the pattern does not clash with validated values and its
   // premises are admissible. The pattern is reconstructed from the CFD's
   // ground constraints so tests can cross-check rule origins against
-  // Ω(Se).
+  // Ω(Se). Rules are emitted in gamma-index order regardless of where a
+  // CFD's constraints sit in Ω(Se) — a CFD that became applicable in a
+  // later round has its constraints appended at the end, while a rebuild
+  // grounds it in place.
   {
-    std::vector<bool> done;  // per gamma index
+    std::map<int, const GroundConstraint*> per_cfd;  // gamma index -> any gc
     for (const GroundConstraint& gc : inst.constraints) {
       if (gc.source != GroundSource::kCfd) continue;
-      if (static_cast<size_t>(gc.source_index) >= done.size()) {
-        done.resize(gc.source_index + 1, false);
-      }
-      if (done[gc.source_index]) continue;
-      done[gc.source_index] = true;
-
+      per_cfd.emplace(gc.source_index, &gc);
+    }
+    for (const auto& entry : per_cfd) {
+      const GroundConstraint& gc = *entry.second;
       // Reconstruct the pattern from the body: each LHS attribute Aj has
       // domination atoms (other ≺ cj); head is (b ≺ tp[B]).
       std::map<int, int> pattern;  // attr -> pattern value index
@@ -108,13 +124,26 @@ std::vector<DerivationRule> TrueDer(
     if (gc.body.empty()) continue;  // unconditional: already in Od
     by_head[head_key(gc.head)].push_back(&gc);
   }
+  // The first compatible constraint in a bucket wins, so bucket order must
+  // not depend on whether Ω(Se) was built at once or extended round by
+  // round: sort by the canonical emission rank (a rebuild emits in seq
+  // order already; incremental appends are merely rotated).
+  for (auto& [key, bucket] : by_head) {
+    (void)key;
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [](const GroundConstraint* a, const GroundConstraint* b) {
+                       return a->seq < b->seq;
+                     });
+  }
 
   for (int b_attr = 0; b_attr < vm.num_attrs(); ++b_attr) {
     if (known_true[b_attr] >= 0) continue;
-    for (int b : candidates[b_attr]) {
+    const std::vector<int> ordered_cands =
+        SortedByValue(vm, b_attr, candidates[b_attr]);
+    for (int b : ordered_cands) {
       std::map<int, int> premises;  // attr -> assumed true value index
       bool rule_ok = true;
-      for (int bi : candidates[b_attr]) {
+      for (int bi : ordered_cands) {
         if (bi == b) continue;
         // Find a compatible constraint with head (bi ≺ b).
         auto it = by_head.find(head_key(OrderAtom{b_attr, bi, b}));

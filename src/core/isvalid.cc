@@ -4,13 +4,17 @@ namespace ccr {
 
 ValidityResult IsValidCnf(const sat::Cnf& phi,
                           const sat::SolverOptions& options) {
+  sat::Solver solver(options);
+  solver.AddCnf(phi);
+  return IsValidShared(&solver, phi);
+}
+
+ValidityResult IsValidShared(sat::Solver* solver, const sat::Cnf& phi) {
   ValidityResult result;
   result.num_vars = phi.num_vars();
   result.num_clauses = phi.num_clauses();
-  sat::Solver solver(options);
-  solver.AddCnf(phi);
-  result.valid = solver.Solve() == sat::SolveResult::kSat;
-  result.solver_conflicts = solver.stats().conflicts;
+  result.valid = solver->Solve() == sat::SolveResult::kSat;
+  result.solver_conflicts = solver->last_call_stats().conflicts;
   return result;
 }
 

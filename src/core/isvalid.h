@@ -29,6 +29,12 @@ struct ValidityResult {
 ValidityResult IsValidCnf(const sat::Cnf& phi,
                           const sat::SolverOptions& options = {});
 
+/// Validity via a caller-owned solver that already holds Φ(Se)'s clauses
+/// (the ResolutionSession path — one solver across phases and rounds).
+/// `solver_conflicts` reports this call's delta, not the cumulative count,
+/// so per-phase attribution survives solver sharing.
+ValidityResult IsValidShared(sat::Solver* solver, const sat::Cnf& phi);
+
 /// One-shot convenience: grounds `se`, builds Φ(Se) and checks it.
 Result<ValidityResult> IsValid(const Specification& se,
                                const sat::SolverOptions& options = {});

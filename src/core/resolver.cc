@@ -1,8 +1,12 @@
 #include "src/core/resolver.h"
 
 #include <algorithm>
+#include <memory>
+#include <optional>
+#include <utility>
 
 #include "src/common/timer.h"
+#include "src/core/session.h"
 
 namespace ccr {
 
@@ -19,6 +23,117 @@ int CountResolvableAttrs(const VarMap& vm) {
   return n;
 }
 
+// The per-round encode/solve strategy behind the framework loop. Both
+// engines run the identical pipeline (validity → deduce → suggest →
+// extend) and produce identical results; they differ only in what they
+// keep alive between rounds.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Makes the encoding current for this round; reports the grounding +
+  /// CNF time attributable to it.
+  virtual Status Encode(double* encode_ms) = 0;
+  virtual const Specification& spec() const = 0;
+  virtual const Instantiation& inst() const = 0;
+  virtual ValidityResult CheckValidity() = 0;
+  virtual DeducedOrders Deduce() = 0;
+  virtual Suggestion MakeSuggestion(
+      const std::vector<std::vector<int>>& candidates,
+      const std::vector<int>& known_true) = 0;
+  virtual Status Extend(const PartialTemporalOrder& ot) = 0;
+};
+
+// Legacy engine: re-grounds Ω(Se), rebuilds Φ(Se) and constructs fresh
+// solver state every round. Kept as the regression baseline and the
+// bench_throughput comparison point.
+class RebuildEngine : public Engine {
+ public:
+  RebuildEngine(const Specification& se, const ResolveOptions& options)
+      : options_(options), spec_(se) {}
+
+  Status Encode(double* encode_ms) override {
+    Timer timer;
+    CCR_ASSIGN_OR_RETURN(inst_, Instantiation::Build(spec_));
+    cnf_ = BuildCnf(inst_);
+    *encode_ms = timer.ElapsedMs();
+    return Status::OK();
+  }
+
+  const Specification& spec() const override { return spec_; }
+  const Instantiation& inst() const override { return inst_; }
+
+  ValidityResult CheckValidity() override {
+    return IsValidCnf(cnf_, options_.solver);
+  }
+
+  DeducedOrders Deduce() override {
+    return options_.naive_deduce
+               ? NaiveDeduce(inst_, cnf_, options_.solver)
+               : DeduceOrder(inst_, cnf_, options_.deduce);
+  }
+
+  Suggestion MakeSuggestion(const std::vector<std::vector<int>>& candidates,
+                            const std::vector<int>& known_true) override {
+    return Suggest(inst_, cnf_, candidates, known_true, options_.suggest);
+  }
+
+  Status Extend(const PartialTemporalOrder& ot) override {
+    CCR_ASSIGN_OR_RETURN(spec_, ::ccr::Extend(spec_, ot));
+    return Status::OK();
+  }
+
+ private:
+  ResolveOptions options_;
+  Specification spec_;
+  Instantiation inst_;
+  sat::Cnf cnf_;
+};
+
+// Session engine: one ResolutionSession across all rounds.
+class SessionEngine : public Engine {
+ public:
+  SessionEngine(const Specification& se, const ResolveOptions& options)
+      : options_(options), spec0_(se) {}
+
+  Status Encode(double* encode_ms) override {
+    if (!session_.has_value()) {
+      auto s = ResolutionSession::Create(spec0_, options_);
+      if (!s.ok()) return s.status();
+      session_.emplace(std::move(s).value());
+    }
+    // Round r > 0 was encoded by the ExtendWith that ended round r-1;
+    // attribute that cost to the round it produced.
+    *encode_ms = session_->last_encode_ms();
+    return Status::OK();
+  }
+
+  const Specification& spec() const override { return session_->spec(); }
+  const Instantiation& inst() const override {
+    return session_->instantiation();
+  }
+
+  ValidityResult CheckValidity() override {
+    return session_->CheckValidity();
+  }
+
+  DeducedOrders Deduce() override { return session_->Deduce(); }
+
+  Suggestion MakeSuggestion(const std::vector<std::vector<int>>& candidates,
+                            const std::vector<int>& known_true) override {
+    return session_->MakeSuggestion(candidates, known_true);
+  }
+
+  Status Extend(const PartialTemporalOrder& ot) override {
+    return session_->ExtendWith(ot);
+  }
+
+ private:
+  ResolveOptions options_;
+  Specification spec0_;
+  std::optional<ResolutionSession> session_;
+};
+
 }  // namespace
 
 Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
@@ -29,20 +144,22 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
   result.resolved.assign(n_attrs, false);
   result.user_provided.assign(n_attrs, false);
 
-  Specification current = se;
+  std::unique_ptr<Engine> engine;
+  if (options.use_session) {
+    engine = std::make_unique<SessionEngine>(se, options);
+  } else {
+    engine = std::make_unique<RebuildEngine>(se, options);
+  }
 
   for (int round = 0; round <= options.max_rounds; ++round) {
     RoundTrace trace;
     trace.round = round;
+    CCR_RETURN_NOT_OK(engine->Encode(&trace.encode_ms));
+    const Instantiation& inst = engine->inst();
     Timer timer;
 
-    // Encode once per round; validity, deduction and suggestion all share
-    // Ω(Se) and Φ(Se).
-    CCR_ASSIGN_OR_RETURN(Instantiation inst, Instantiation::Build(current));
-    const sat::Cnf phi = BuildCnf(inst);
-
     // Step (1): validity.
-    const ValidityResult validity = IsValidCnf(phi, options.solver);
+    const ValidityResult validity = engine->CheckValidity();
     trace.validity_ms = timer.ElapsedMs();
     if (!validity.valid) {
       // Initial specification invalid (or a user's answer clashed with the
@@ -55,10 +172,7 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
 
     // Step (2): deduce true values.
     timer.Restart();
-    const DeducedOrders od =
-        options.naive_deduce
-            ? NaiveDeduce(inst, phi, options.solver)
-            : DeduceOrder(inst, phi, options.deduce);
+    const DeducedOrders od = engine->Deduce();
     const std::vector<int> true_idx =
         ExtractTrueValueIndices(inst.varmap, od);
     trace.deduce_ms = timer.ElapsedMs();
@@ -92,12 +206,12 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
     const std::vector<std::vector<int>> candidates =
         CandidateValues(inst.varmap, od);
     const Suggestion suggestion =
-        Suggest(inst, phi, candidates, true_idx, options.suggest);
+        engine->MakeSuggestion(candidates, true_idx);
     trace.suggest_ms = timer.ElapsedMs();
     result.trace.push_back(trace);
 
     const std::vector<UserOracle::Answer> answers =
-        oracle->Provide(current, suggestion, inst.varmap);
+        oracle->Provide(engine->spec(), suggestion, inst.varmap);
     if (answers.empty()) break;  // user settles
 
     // Materialize the answers as a new tuple t_o that dominates every
@@ -112,14 +226,14 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
       to[ans.attr] = ans.value;
       result.user_provided[ans.attr] = true;
     }
-    const int to_index = current.instance().size();
+    const int to_index = engine->spec().instance().size();
     ot.new_tuples.push_back(std::move(to));
     for (const auto& ans : answers) {
       for (int t = 0; t < to_index; ++t) {
         ot.orders.emplace_back(ans.attr, t, to_index);
       }
     }
-    CCR_ASSIGN_OR_RETURN(current, Extend(current, ot));
+    CCR_RETURN_NOT_OK(engine->Extend(ot));
   }
 
   return result;

@@ -50,6 +50,12 @@ struct ResolveOptions {
   sat::SolverOptions solver;
   /// Use NaiveDeduce instead of DeduceOrder (for the Fig. 8(b) baseline).
   bool naive_deduce = false;
+  /// Drive the rounds through a ResolutionSession (encode once, extend
+  /// incrementally, one solver across phases). Off = the legacy engine
+  /// that re-grounds and re-encodes from scratch every round; both produce
+  /// identical results, the flag exists for regression tests and the
+  /// bench_throughput comparison.
+  bool use_session = true;
 };
 
 /// Per-round timings and progress, aggregated by the benchmarks
@@ -57,6 +63,7 @@ struct ResolveOptions {
 struct RoundTrace {
   int round = 0;              // 0 = fully automatic
   int resolved_attrs = 0;     // cumulative attrs with a true value
+  double encode_ms = 0;       // grounding + CNF (round > 0: the extension)
   double validity_ms = 0;
   double deduce_ms = 0;
   double suggest_ms = 0;

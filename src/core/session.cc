@@ -1,0 +1,69 @@
+#include "src/core/session.h"
+
+#include <utility>
+
+#include "src/common/timer.h"
+
+namespace ccr {
+
+Result<ResolutionSession> ResolutionSession::Create(
+    const Specification& se, const ResolveOptions& options) {
+  ResolutionSession s;
+  s.options_ = options;
+  s.spec_ = se;
+  Timer timer;
+  CCR_ASSIGN_OR_RETURN(s.inst_, Instantiation::Build(s.spec_));
+  s.cnf_ = BuildCnf(s.inst_);
+  s.solver_ = std::make_unique<sat::Solver>(options.solver);
+  s.FeedSolver();
+  s.last_encode_ms_ = timer.ElapsedMs();
+  return s;
+}
+
+void ResolutionSession::FeedSolver() {
+  solver_->AddCnfFrom(cnf_, fed_clauses_);
+  fed_clauses_ = cnf_.num_clauses();
+}
+
+ValidityResult ResolutionSession::CheckValidity() {
+  return IsValidShared(solver_.get(), cnf_);
+}
+
+DeducedOrders ResolutionSession::Deduce() {
+  return options_.naive_deduce ? NaiveDeduceShared(inst_, solver_.get())
+                               : DeduceOrder(inst_, cnf_, options_.deduce);
+}
+
+Suggestion ResolutionSession::MakeSuggestion(
+    const std::vector<std::vector<int>>& candidates,
+    const std::vector<int>& known_true) {
+  return Suggest(inst_, cnf_, candidates, known_true, options_.suggest);
+}
+
+Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
+  CCR_ASSIGN_OR_RETURN(Specification next, Extend(spec_, ot));
+  Timer timer;
+  CCR_ASSIGN_OR_RETURN(InstantiationDelta delta, inst_.ExtendWith(next, ot));
+  if (delta.needs_rebuild) {
+    // The delta strengthens already-emitted CFD bodies; append-only
+    // encoding cannot express that, so re-encode from scratch.
+    CCR_ASSIGN_OR_RETURN(inst_, Instantiation::Build(next));
+    cnf_ = BuildCnf(inst_);
+    solver_ = std::make_unique<sat::Solver>(options_.solver);
+    fed_clauses_ = 0;
+    FeedSolver();
+    ++rebuilds_;
+  } else {
+    ExtendCnf(inst_, delta, &cnf_);
+    FeedSolver();
+    // New clauses may have asserted fresh top-level facts; fold them in
+    // and drop clauses they satisfy before the next phase solves.
+    solver_->Simplify();
+    ++incremental_extensions_;
+  }
+  last_encode_ms_ = timer.ElapsedMs();
+  spec_ = std::move(next);
+  return Status::OK();
+}
+
+}  // namespace ccr

@@ -1,0 +1,83 @@
+// ResolutionSession: one specification's lifetime across the framework
+// pipeline of Fig. 4 — encode once, solve many.
+//
+// The framework loops validity → deduction → suggestion over the *same*
+// specification, growing it by a small user delta Ot each round. A session
+// therefore owns the three artifacts that survive rounds:
+//   * Ω(Se): the instantiation, extended in place (ExtendWith grounds only
+//     the delta's tuples/orders and appends);
+//   * Φ(Se): the CNF, extended append-only (ExtendCnf);
+//   * one incremental CDCL solver holding Φ's clauses plus everything it
+//     learnt — validity and NaiveDeduce share it via assumptions, and a
+//     top-level Simplify pass runs after each extension.
+// When a delta cannot be grounded append-only (a new value lands in the
+// LHS attribute of an already-grounded CFD), the session transparently
+// rebuilds all three from scratch — the legacy cost, paid only in the rare
+// case instead of every round.
+//
+// Resolve() drives a session internally; the class is public so batch
+// drivers and benches can observe per-round encode costs and the
+// incremental/rebuild split.
+
+#ifndef CCR_CORE_SESSION_H_
+#define CCR_CORE_SESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/resolver.h"
+
+namespace ccr {
+
+/// \brief Encode-once/solve-many pipeline state for one specification.
+class ResolutionSession {
+ public:
+  /// Grounds and encodes `se` and loads the solver.
+  static Result<ResolutionSession> Create(const Specification& se,
+                                          const ResolveOptions& options = {});
+
+  /// Step (1): does the current Se ⊕ Ot ⊕ ... have a valid completion?
+  ValidityResult CheckValidity();
+
+  /// Step (2): the deduced value-level currency orders Od.
+  DeducedOrders Deduce();
+
+  /// Step (4a): suggestion from the deduced state (`candidates` from
+  /// CandidateValues, `known_true` from ExtractTrueValueIndices).
+  Suggestion MakeSuggestion(const std::vector<std::vector<int>>& candidates,
+                            const std::vector<int>& known_true);
+
+  /// Step (4b): Se ← Se ⊕ Ot. Takes the incremental path when the delta
+  /// grounds append-only, otherwise rebuilds instantiation/CNF/solver.
+  Status ExtendWith(const PartialTemporalOrder& ot);
+
+  const Specification& spec() const { return spec_; }
+  const Instantiation& instantiation() const { return inst_; }
+  const sat::Cnf& cnf() const { return cnf_; }
+
+  /// Wall time the last Create/ExtendWith spent grounding + encoding (ms).
+  double last_encode_ms() const { return last_encode_ms_; }
+  /// How many ExtendWith calls appended vs. fell back to a full rebuild.
+  int incremental_extensions() const { return incremental_extensions_; }
+  int rebuilds() const { return rebuilds_; }
+
+ private:
+  ResolutionSession() = default;
+
+  /// Feeds the solver the cnf_ suffix it has not seen yet.
+  void FeedSolver();
+
+  ResolveOptions options_;
+  Specification spec_;
+  Instantiation inst_;
+  sat::Cnf cnf_;
+  std::unique_ptr<sat::Solver> solver_;
+  int fed_clauses_ = 0;  // prefix of cnf_ already in the solver
+  double last_encode_ms_ = 0;
+  int incremental_extensions_ = 0;
+  int rebuilds_ = 0;
+};
+
+}  // namespace ccr
+
+#endif  // CCR_CORE_SESSION_H_

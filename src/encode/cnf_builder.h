@@ -26,6 +26,15 @@ struct CnfBuildOptions {
 /// Builds Φ(Se) over the variables of `inst.varmap`.
 sat::Cnf BuildCnf(const Instantiation& inst, const CnfBuildOptions& options = {});
 
+/// Appends to `cnf` exactly the clauses Φ(Se ⊕ Ot) gains from an
+/// Instantiation::ExtendWith call: one clause per new ground constraint,
+/// plus the asymmetry/transitivity axioms for atom pairs/triples that
+/// touch a newly added domain value. `cnf` must be the formula previously
+/// built (and possibly already extended) from `inst`; `options` must match
+/// across all calls.
+void ExtendCnf(const Instantiation& inst, const InstantiationDelta& delta,
+               sat::Cnf* cnf, const CnfBuildOptions& options = {});
+
 }  // namespace ccr
 
 #endif  // CCR_ENCODE_CNF_BUILDER_H_

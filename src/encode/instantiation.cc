@@ -1,34 +1,12 @@
 #include "src/encode/instantiation.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "src/common/status.h"
 
 namespace ccr {
 
 namespace {
-
-// Hash / equality over a projection (vector of values).
-struct ProjHash {
-  size_t operator()(const std::vector<Value>& vs) const {
-    size_t h = 0x9e3779b97f4a7c15ULL;
-    for (const Value& v : vs) h = h * 1315423911ULL + v.Hash();
-    return h;
-  }
-};
-
-struct ProjEq {
-  bool operator()(const std::vector<Value>& a,
-                  const std::vector<Value>& b) const {
-    if (a.size() != b.size()) return false;
-    for (size_t i = 0; i < a.size(); ++i) {
-      if (!(a[i] == b[i])) return false;
-    }
-    return true;
-  }
-};
 
 // Attributes mentioned by a currency constraint (body and head), sorted.
 std::vector<int> MentionedAttrs(const CurrencyConstraint& phi) {
@@ -40,6 +18,25 @@ std::vector<int> MentionedAttrs(const CurrencyConstraint& phi) {
   std::sort(attrs.begin(), attrs.end());
   attrs.erase(std::unique(attrs.begin(), attrs.end()), attrs.end());
   return attrs;
+}
+
+// Stable dedup key for a family-(1a) unit (independent of domain sizes, so
+// it survives incremental domain growth).
+uint64_t UnitKey(int attr, int less, int more) {
+  return (static_cast<uint64_t>(attr) << 42) |
+         (static_cast<uint64_t>(less) << 21) | static_cast<uint64_t>(more);
+}
+
+// Canonical emission rank of a family-(2) ground constraint: constraint
+// index major, then the projection-pair generation (max index, min index,
+// direction). Both Build and ExtendWith enumerate pairs in exactly this
+// order, so sorting by seq reproduces a from-scratch emission order even
+// when the constraints were appended across rounds.
+uint64_t SigmaSeq(int ci, int p, int q) {
+  const uint64_t n = static_cast<uint64_t>(std::max(p, q));
+  const uint64_t m = static_cast<uint64_t>(std::min(p, q));
+  const uint64_t dir = p > q ? 1 : 0;
+  return (static_cast<uint64_t>(ci) << 44) | (n << 24) | (m << 4) | dir;
 }
 
 }  // namespace
@@ -59,6 +56,96 @@ std::string GroundConstraint::ToString(const VarMap& vm,
   out += head_kind == GroundHead::kFalse ? "false"
                                          : vm.AtomToString(head, schema);
   return out;
+}
+
+// Grounds ϕ = sigma[ci] on the (ordered) projection pair (p, q) of its
+// state table, appending at most one constraint.
+void Instantiation::GroundSigmaPair(const CurrencyConstraint& phi, int ci,
+                                    int p, int q,
+                                    const InstantiationOptions& options) {
+  const SigmaState& ss = sigma_state_[ci];
+  const Tuple& s1 = ss.projections[p];
+  const Tuple& s2 = ss.projections[q];
+  if (!phi.ComparisonsHold(s1, s2)) return;
+
+  // Head first: many instantiations are vacuous.
+  const int ar = phi.head_attr();
+  const Value& h1 = s1.at(ar);
+  const Value& h2 = s2.at(ar);
+  if (h1.is_null() || h1 == h2) return;  // trivially satisfied
+  bool head_false = false;
+  if (h2.is_null()) {
+    // A value would have to precede a null. Vacuous by default (the
+    // null tuple contributes no job/AC/... value to order); under
+    // strict null semantics it is a contradiction.
+    if (!options.strict_null_order) return;
+    head_false = true;
+  }
+
+  GroundConstraint gc;
+  gc.source = GroundSource::kCurrencyConstraint;
+  gc.source_index = ci;
+  gc.seq = SigmaSeq(ci, p, q);
+  for (const auto& op : phi.order_predicates()) {
+    const Value& v1 = s1.at(op.attr);
+    const Value& v2 = s2.at(op.attr);
+    // A null endpoint has no value-level order atom: the conjunct
+    // cannot be instantiated (ins(ω, s1, s2) substitutes values,
+    // and a null is the absence of one), so the ground rule is
+    // dropped. Treating "null ≺ v" as true instead would lift the
+    // tuple-level null-ranks-lowest convention into spurious
+    // value-level units whenever the null tuple carries values in
+    // other attributes (e.g. the user tuple t_o of §III).
+    // Equal values cannot be strictly ordered either.
+    if (v1.is_null() || v2.is_null() || v1 == v2) return;
+    gc.body.push_back(OrderAtom{op.attr, varmap.ValueIndex(op.attr, v1),
+                                varmap.ValueIndex(op.attr, v2)});
+  }
+
+  if (head_false) {
+    gc.head_kind = GroundHead::kFalse;
+  } else {
+    gc.head_kind = GroundHead::kAtom;
+    gc.head = OrderAtom{ar, varmap.ValueIndex(ar, h1),
+                        varmap.ValueIndex(ar, h2)};
+  }
+  constraints.push_back(std::move(gc));
+}
+
+// Family (3) for gamma[gi]: ωX -> b ≺^v_B tp[B] for each competing value b
+// with index >= first_b (0 grounds the full family; ExtendWith passes the
+// pre-extension domain size to ground only newly competing values).
+void Instantiation::GroundCfd(int gi, const Specification& se, int first_b) {
+  const ConstantCfd& cfd = se.gamma[gi];
+  const int rb = cfd.rhs_attr();
+  const int rhs_idx = varmap.ValueIndex(rb, cfd.rhs_value());
+  CCR_DCHECK(rhs_idx >= 0);
+
+  const int db = static_cast<int>(varmap.domain(rb).size());
+  if (first_b >= db) return;
+
+  // Shared body ωX: tp[Aj] dominates every other domain value of Aj.
+  std::vector<OrderAtom> body;
+  for (const auto& [aj, cj] : cfd.lhs()) {
+    const int cj_idx = varmap.ValueIndex(aj, cj);
+    CCR_DCHECK(cj_idx >= 0);
+    const int d = static_cast<int>(varmap.domain(aj).size());
+    for (int other = 0; other < d; ++other) {
+      if (other == cj_idx) continue;
+      body.push_back(OrderAtom{aj, other, cj_idx});
+    }
+  }
+
+  for (int b = first_b; b < db; ++b) {
+    if (b == rhs_idx) continue;
+    GroundConstraint gc;
+    gc.source = GroundSource::kCfd;
+    gc.source_index = gi;
+    gc.body = body;
+    gc.head_kind = GroundHead::kAtom;
+    gc.head = OrderAtom{rb, b, rhs_idx};
+    constraints.push_back(std::move(gc));
+  }
 }
 
 Result<Instantiation> Instantiation::Build(
@@ -94,144 +181,232 @@ Result<Instantiation> Instantiation::Build(
     }
   }
 
+  inst.num_tuples_ = ie.size();
+  inst.cfd_applicable_.assign(se.gamma.size(), false);
+  inst.cfd_lhs_attr_.assign(n_attrs, false);
+
   // (1a) Partial currency orders of It, lifted to value-level unit rules.
-  {
-    std::unordered_set<int64_t> seen;  // (attr, less, more) packed
-    for (int a = 0; a < n_attrs; ++a) {
-      for (const auto& [t_less, t_more] : se.temporal.orders(a)) {
-        const Value& lv = ie.tuple(t_less).at(a);
-        const Value& mv = ie.tuple(t_more).at(a);
-        // Null endpoints carry no value-level content: a null is ranked
-        // lowest regardless (§II-A).
-        if (lv.is_null() || mv.is_null() || lv == mv) continue;
-        const int li = vm.ValueIndex(a, lv);
-        const int mi = vm.ValueIndex(a, mv);
-        CCR_DCHECK(li >= 0 && mi >= 0);
-        const int d = static_cast<int>(vm.domain(a).size());
-        const int64_t key =
-            (static_cast<int64_t>(a) * d + li) * d + mi;
-        if (!seen.insert(key).second) continue;
-        GroundConstraint gc;
-        gc.source = GroundSource::kCurrencyOrder;
-        gc.head = OrderAtom{a, li, mi};
-        inst.constraints.push_back(std::move(gc));
-      }
+  for (int a = 0; a < n_attrs; ++a) {
+    for (const auto& [t_less, t_more] : se.temporal.orders(a)) {
+      const Value& lv = ie.tuple(t_less).at(a);
+      const Value& mv = ie.tuple(t_more).at(a);
+      // Null endpoints carry no value-level content: a null is ranked
+      // lowest regardless (§II-A).
+      if (lv.is_null() || mv.is_null() || lv == mv) continue;
+      const int li = vm.ValueIndex(a, lv);
+      const int mi = vm.ValueIndex(a, mv);
+      CCR_DCHECK(li >= 0 && mi >= 0);
+      if (!inst.unit_seen_.insert(UnitKey(a, li, mi)).second) continue;
+      GroundConstraint gc;
+      gc.source = GroundSource::kCurrencyOrder;
+      gc.head = OrderAtom{a, li, mi};
+      inst.constraints.push_back(std::move(gc));
     }
   }
 
   // (2) Currency constraints, grounded over deduplicated tuple-pair
-  // projections.
+  // projections. Pairs are enumerated generation-major — for every
+  // projection n, all pairs with earlier projections m < n — so that
+  // ExtendWith (which appends projections) emits the same sequence.
+  inst.sigma_state_.resize(se.sigma.size());
   for (size_t ci = 0; ci < se.sigma.size(); ++ci) {
     const CurrencyConstraint& phi = se.sigma[ci];
-    const std::vector<int> attrs = MentionedAttrs(phi);
+    SigmaState& ss = inst.sigma_state_[ci];
+    ss.attrs = MentionedAttrs(phi);
 
-    // Distinct projections of tuples onto `attrs`.
-    std::unordered_map<std::vector<Value>, int, ProjHash, ProjEq> proj_ids;
-    std::vector<Tuple> projections;  // full-width, nulls off-projection
     for (const Tuple& t : ie.tuples()) {
       std::vector<Value> key;
-      key.reserve(attrs.size());
-      for (int a : attrs) key.push_back(t.at(a));
-      auto [it, inserted] =
-          proj_ids.emplace(std::move(key), static_cast<int>(projections.size()));
+      key.reserve(ss.attrs.size());
+      for (int a : ss.attrs) key.push_back(t.at(a));
+      auto [it, inserted] = ss.proj_ids.emplace(
+          std::move(key), static_cast<int>(ss.projections.size()));
       if (inserted) {
         std::vector<Value> wide(n_attrs);
-        for (int a : attrs) wide[a] = t.at(a);
-        projections.emplace_back(std::move(wide));
+        for (int a : ss.attrs) wide[a] = t.at(a);
+        ss.projections.emplace_back(std::move(wide));
       }
     }
 
-    const int np = static_cast<int>(projections.size());
-    for (int p = 0; p < np; ++p) {
-      for (int q = 0; q < np; ++q) {
-        if (p == q) continue;
-        const Tuple& s1 = projections[p];
-        const Tuple& s2 = projections[q];
-        if (!phi.ComparisonsHold(s1, s2)) continue;
-
-        // Head first: many instantiations are vacuous.
-        const int ar = phi.head_attr();
-        const Value& h1 = s1.at(ar);
-        const Value& h2 = s2.at(ar);
-        if (h1.is_null() || h1 == h2) continue;  // trivially satisfied
-        bool head_false = false;
-        if (h2.is_null()) {
-          // A value would have to precede a null. Vacuous by default (the
-          // null tuple contributes no job/AC/... value to order); under
-          // strict null semantics it is a contradiction.
-          if (!options.strict_null_order) continue;
-          head_false = true;
-        }
-
-        GroundConstraint gc;
-        gc.source = GroundSource::kCurrencyConstraint;
-        gc.source_index = static_cast<int>(ci);
-        bool body_undefined = false;
-        for (const auto& op : phi.order_predicates()) {
-          const Value& v1 = s1.at(op.attr);
-          const Value& v2 = s2.at(op.attr);
-          // A null endpoint has no value-level order atom: the conjunct
-          // cannot be instantiated (ins(ω, s1, s2) substitutes values,
-          // and a null is the absence of one), so the ground rule is
-          // dropped. Treating "null ≺ v" as true instead would lift the
-          // tuple-level null-ranks-lowest convention into spurious
-          // value-level units whenever the null tuple carries values in
-          // other attributes (e.g. the user tuple t_o of §III).
-          // Equal values cannot be strictly ordered either.
-          if (v1.is_null() || v2.is_null() || v1 == v2) {
-            body_undefined = true;
-            break;
-          }
-          gc.body.push_back(OrderAtom{op.attr, vm.ValueIndex(op.attr, v1),
-                                      vm.ValueIndex(op.attr, v2)});
-        }
-        if (body_undefined) continue;
-
-        if (head_false) {
-          gc.head_kind = GroundHead::kFalse;
-        } else {
-          gc.head_kind = GroundHead::kAtom;
-          gc.head = OrderAtom{ar, vm.ValueIndex(ar, h1),
-                              vm.ValueIndex(ar, h2)};
-        }
-        inst.constraints.push_back(std::move(gc));
+    const int np = static_cast<int>(ss.projections.size());
+    for (int n = 1; n < np; ++n) {
+      for (int m = 0; m < n; ++m) {
+        inst.GroundSigmaPair(phi, static_cast<int>(ci), m, n, options);
+        inst.GroundSigmaPair(phi, static_cast<int>(ci), n, m, options);
       }
     }
   }
 
   // (3) Applicable constant CFDs: ωX -> b ≺^v_B tp[B] for each competing b.
   for (int gi : vm.applicable_cfds()) {
-    const ConstantCfd& cfd = se.gamma[gi];
-    const int rb = cfd.rhs_attr();
-    const int rhs_idx = vm.ValueIndex(rb, cfd.rhs_value());
-    CCR_DCHECK(rhs_idx >= 0);
-
-    // Shared body ωX: tp[Aj] dominates every other domain value of Aj.
-    std::vector<OrderAtom> body;
-    for (const auto& [aj, cj] : cfd.lhs()) {
-      const int cj_idx = vm.ValueIndex(aj, cj);
-      CCR_DCHECK(cj_idx >= 0);
-      const int d = static_cast<int>(vm.domain(aj).size());
-      for (int other = 0; other < d; ++other) {
-        if (other == cj_idx) continue;
-        body.push_back(OrderAtom{aj, other, cj_idx});
-      }
-    }
-
-    const int db = static_cast<int>(vm.domain(rb).size());
-    for (int b = 0; b < db; ++b) {
-      if (b == rhs_idx) continue;
-      GroundConstraint gc;
-      gc.source = GroundSource::kCfd;
-      gc.source_index = gi;
-      gc.body = body;
-      gc.head_kind = GroundHead::kAtom;
-      gc.head = OrderAtom{rb, b, rhs_idx};
-      inst.constraints.push_back(std::move(gc));
+    inst.GroundCfd(gi, se, /*first_b=*/0);
+    inst.cfd_applicable_[gi] = true;
+    for (const auto& [aj, cj] : se.gamma[gi].lhs()) {
+      inst.cfd_lhs_attr_[aj] = true;
     }
   }
 
   return inst;
+}
+
+Result<InstantiationDelta> Instantiation::ExtendWith(
+    const Specification& extended_se, const PartialTemporalOrder& delta,
+    const InstantiationOptions& options) {
+  const EntityInstance& ie = extended_se.instance();
+  const int n_attrs = extended_se.schema().size();
+  if (ie.size() !=
+      num_tuples_ + static_cast<int>(delta.new_tuples.size())) {
+    return Status::InvalidArgument(
+        "ExtendWith: extended_se does not extend the grounded "
+        "specification by exactly delta's tuples");
+  }
+
+  // --- plan: which domain values would the delta introduce? --------------
+  // (No mutation yet: the rebuild check below must be able to bail out.)
+  struct PendingValue {
+    int attr;
+    Value value;
+    bool active;  // from the extended active domain vs. a CFD constant
+  };
+  std::vector<PendingValue> pending;  // in discovery order
+  auto in_domain = [&](int a, const Value& v) {
+    if (varmap.ValueIndex(a, v) >= 0) return true;
+    for (const auto& p : pending) {
+      if (p.attr == a && p.value == v) return true;
+    }
+    return false;
+  };
+  for (int t = num_tuples_; t < ie.size(); ++t) {
+    for (int a = 0; a < n_attrs; ++a) {
+      const Value& v = ie.tuple(t).at(a);
+      if (!v.is_null() && !in_domain(a, v)) {
+        pending.push_back({a, v, /*active=*/true});
+      }
+    }
+  }
+
+  // CFD reachability fixpoint over the pending values: a CFD whose LHS
+  // becomes reachable contributes its RHS constant (possibly cascading).
+  std::vector<int> newly_applicable;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < extended_se.gamma.size(); ++i) {
+      if (cfd_applicable_[i]) continue;
+      if (std::find(newly_applicable.begin(), newly_applicable.end(),
+                    static_cast<int>(i)) != newly_applicable.end()) {
+        continue;
+      }
+      const ConstantCfd& cfd = extended_se.gamma[i];
+      bool lhs_reachable = true;
+      for (const auto& [attr, c] : cfd.lhs()) {
+        if (!in_domain(attr, c)) {
+          lhs_reachable = false;
+          break;
+        }
+      }
+      if (!lhs_reachable) continue;
+      newly_applicable.push_back(static_cast<int>(i));
+      changed = true;
+      if (!in_domain(cfd.rhs_attr(), cfd.rhs_value())) {
+        pending.push_back({cfd.rhs_attr(), cfd.rhs_value(),
+                           /*active=*/false});
+      }
+    }
+  }
+
+  // Append-only limit: a new value in the LHS attribute of an
+  // already-grounded CFD would have to *strengthen* every emitted rule
+  // body for that CFD (the pattern must now dominate the new value too) —
+  // clauses cannot be retracted, so the caller must rebuild.
+  InstantiationDelta out;
+  for (const auto& p : pending) {
+    if (cfd_lhs_attr_[p.attr]) {
+      out.needs_rebuild = true;
+      return out;
+    }
+  }
+
+  // --- apply --------------------------------------------------------------
+  out.first_new_constraint = static_cast<int>(constraints.size());
+  out.old_num_vars = varmap.num_vars();
+  out.old_domain_sizes.resize(n_attrs);
+  for (int a = 0; a < n_attrs; ++a) {
+    out.old_domain_sizes[a] =
+        static_cast<int>(varmap.domain(a).size());
+  }
+
+  for (const auto& p : pending) {
+    varmap.AddDomainValue(p.attr, p.value, p.active);
+  }
+  std::sort(newly_applicable.begin(), newly_applicable.end());
+  for (int gi : newly_applicable) {
+    varmap.MarkCfdApplicable(gi);
+    cfd_applicable_[gi] = true;
+    for (const auto& [aj, cj] : extended_se.gamma[gi].lhs()) {
+      cfd_lhs_attr_[aj] = true;
+    }
+  }
+
+  // (1a) The delta's currency orders, lifted to value-level unit rules.
+  for (const auto& [a, t_less, t_more] : delta.orders) {
+    const Value& lv = ie.tuple(t_less).at(a);
+    const Value& mv = ie.tuple(t_more).at(a);
+    if (lv.is_null() || mv.is_null() || lv == mv) continue;
+    const int li = varmap.ValueIndex(a, lv);
+    const int mi = varmap.ValueIndex(a, mv);
+    CCR_DCHECK(li >= 0 && mi >= 0);
+    if (!unit_seen_.insert(UnitKey(a, li, mi)).second) continue;
+    GroundConstraint gc;
+    gc.source = GroundSource::kCurrencyOrder;
+    gc.head = OrderAtom{a, li, mi};
+    constraints.push_back(std::move(gc));
+  }
+
+  // (2) New tuple-pair projections, paired with everything before them.
+  for (size_t ci = 0; ci < extended_se.sigma.size(); ++ci) {
+    const CurrencyConstraint& phi = extended_se.sigma[ci];
+    SigmaState& ss = sigma_state_[ci];
+    const int old_np = static_cast<int>(ss.projections.size());
+    for (int t = num_tuples_; t < ie.size(); ++t) {
+      std::vector<Value> key;
+      key.reserve(ss.attrs.size());
+      for (int a : ss.attrs) key.push_back(ie.tuple(t).at(a));
+      auto [it, inserted] = ss.proj_ids.emplace(
+          std::move(key), static_cast<int>(ss.projections.size()));
+      if (inserted) {
+        std::vector<Value> wide(n_attrs);
+        for (int a : ss.attrs) wide[a] = ie.tuple(t).at(a);
+        ss.projections.emplace_back(std::move(wide));
+      }
+    }
+    const int np = static_cast<int>(ss.projections.size());
+    for (int n = old_np; n < np; ++n) {
+      for (int m = 0; m < n; ++m) {
+        GroundSigmaPair(phi, static_cast<int>(ci), m, n, options);
+        GroundSigmaPair(phi, static_cast<int>(ci), n, m, options);
+      }
+    }
+  }
+
+  // (3) CFDs: newly competing values of already-applicable CFDs, then the
+  // full families of newly applicable ones. (Their LHS domains did not
+  // change — that is exactly the rebuild condition above — so recomputed
+  // bodies match the rules already emitted.)
+  for (size_t gi = 0; gi < extended_se.gamma.size(); ++gi) {
+    if (!cfd_applicable_[gi]) continue;
+    const bool is_new =
+        std::binary_search(newly_applicable.begin(), newly_applicable.end(),
+                           static_cast<int>(gi));
+    if (is_new) continue;
+    GroundCfd(static_cast<int>(gi), extended_se,
+              out.old_domain_sizes[extended_se.gamma[gi].rhs_attr()]);
+  }
+  for (int gi : newly_applicable) {
+    GroundCfd(gi, extended_se, /*first_b=*/0);
+  }
+
+  num_tuples_ = ie.size();
+  return out;
 }
 
 }  // namespace ccr

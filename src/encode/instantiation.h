@@ -15,11 +15,22 @@
 // attributes a constraint mentions, so the cost is bounded by distinct
 // value combinations instead of |It|^2 — this is what makes the paper's
 // 10k-tuple Person entities (Fig. 8(a)) tractable.
+//
+// The framework loop (Fig. 4) re-grounds the *same* specification plus a
+// small user delta every round, so Build retains its grounding state
+// (projection tables, emitted units, CFD applicability) and ExtendWith
+// grounds only the delta, appending constraints and domain values without
+// disturbing anything already emitted. Appended constraints follow the
+// same canonical order a from-scratch Build would produce (see `seq`), so
+// downstream rule mining is bit-compatible with a full rebuild.
 
 #ifndef CCR_ENCODE_INSTANTIATION_H_
 #define CCR_ENCODE_INSTANTIATION_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/constraints/specification.h"
@@ -48,6 +59,10 @@ struct GroundConstraint {
   std::vector<OrderAtom> body;
   GroundHead head_kind = GroundHead::kAtom;
   OrderAtom head;
+  /// Canonical emission rank within its family. For family (2) this packs
+  /// (constraint index, projection-pair generation); TrueDer sorts by it so
+  /// incremental appends and full rebuilds mine identical rule orders.
+  uint64_t seq = 0;
 
   std::string ToString(const VarMap& vm, const Schema& schema) const;
 };
@@ -65,6 +80,44 @@ struct InstantiationOptions {
   bool strict_null_order = false;
 };
 
+/// Hash / equality over a projection (vector of values), used by the
+/// grounding's tuple-pair deduplication tables.
+struct ProjHash {
+  size_t operator()(const std::vector<Value>& vs) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : vs) h = h * 1315423911ULL + v.Hash();
+    return h;
+  }
+};
+
+struct ProjEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!(a[i] == b[i])) return false;
+    }
+    return true;
+  }
+};
+
+/// \brief What an ExtendWith call changed — consumed by ExtendCnf to
+/// append exactly the matching clauses.
+struct InstantiationDelta {
+  /// True when the delta cannot be grounded append-only (a new domain
+  /// value landed in the LHS attribute of an already-grounded CFD, which
+  /// would strengthen existing rule bodies). Nothing was mutated; the
+  /// caller must rebuild from scratch.
+  bool needs_rebuild = false;
+  /// Constraints [first_new_constraint, constraints.size()) are new.
+  int first_new_constraint = 0;
+  /// Per-attribute domain sizes before the extension (new values have
+  /// indices past these).
+  std::vector<int> old_domain_sizes;
+  /// Variable count before the extension.
+  int old_num_vars = 0;
+};
+
 /// \brief Ω(Se): the var map plus the materialized constraint families.
 struct Instantiation {
   VarMap varmap;
@@ -75,6 +128,37 @@ struct Instantiation {
   /// detected later by IsValid.
   static Result<Instantiation> Build(const Specification& se,
                                      const InstantiationOptions& options = {});
+
+  /// Incrementally grounds Se ⊕ Ot. `extended_se` must be
+  /// Extend(previous, delta) for the specification this instantiation was
+  /// built from (or last extended to); only `delta`'s tuples and orders
+  /// are grounded. Appends domain values / variables / constraints; never
+  /// reorders or mutates existing ones. When the returned delta has
+  /// needs_rebuild set, this instantiation is unchanged and the caller
+  /// must Build(extended_se) instead.
+  Result<InstantiationDelta> ExtendWith(
+      const Specification& extended_se, const PartialTemporalOrder& delta,
+      const InstantiationOptions& options = {});
+
+ private:
+  // Per-Σ-constraint grounding state: the mentioned attributes and the
+  // deduplicated tuple-pair projection table, retained so ExtendWith can
+  // ground only projections contributed by new tuples.
+  struct SigmaState {
+    std::vector<int> attrs;
+    std::unordered_map<std::vector<Value>, int, ProjHash, ProjEq> proj_ids;
+    std::vector<Tuple> projections;  // full-width, nulls off-projection
+  };
+
+  void GroundSigmaPair(const CurrencyConstraint& phi, int ci, int p, int q,
+                       const InstantiationOptions& options);
+  void GroundCfd(int gi, const Specification& se, int first_b);
+
+  std::vector<SigmaState> sigma_state_;
+  std::unordered_set<uint64_t> unit_seen_;  // family (1a) dedup keys
+  std::vector<bool> cfd_applicable_;        // per gamma index
+  std::vector<bool> cfd_lhs_attr_;  // attr is LHS of an applicable CFD
+  int num_tuples_ = 0;              // tuples grounded so far
 };
 
 }  // namespace ccr

@@ -1,5 +1,7 @@
 #include "src/encode/varmap.h"
 
+#include <algorithm>
+
 #include "src/common/status.h"
 
 namespace ccr {
@@ -55,14 +57,40 @@ VarMap VarMap::Build(const Specification& se) {
   }
 
   vm.offsets_.resize(n_attrs);
+  vm.dense_sizes_.resize(n_attrs);
   int next = 0;
   for (int a = 0; a < n_attrs; ++a) {
     vm.offsets_[a] = next;
     const int d = static_cast<int>(vm.domains_[a].size());
+    vm.dense_sizes_[a] = d;
     next += d * d;  // diagonal slots unused but keep decode O(1)
   }
   vm.num_vars_ = next;
+  vm.dense_num_vars_ = next;
   return vm;
+}
+
+int VarMap::AddDomainValue(int attr, const Value& v, bool active) {
+  auto [it, inserted] =
+      index_[attr].emplace(v, static_cast<int>(domains_[attr].size()));
+  if (!inserted) return it->second;
+  const int idx = it->second;
+  domains_[attr].push_back(v);
+  if (active) ++adom_sizes_[attr];
+  for (int other = 0; other < idx; ++other) {
+    ext_vars_.emplace(PackAtom(attr, other, idx), num_vars_++);
+    ext_atoms_.push_back(OrderAtom{attr, other, idx});
+    ext_vars_.emplace(PackAtom(attr, idx, other), num_vars_++);
+    ext_atoms_.push_back(OrderAtom{attr, idx, other});
+  }
+  return idx;
+}
+
+void VarMap::MarkCfdApplicable(int gi) {
+  auto pos = std::lower_bound(applicable_cfds_.begin(),
+                              applicable_cfds_.end(), gi);
+  if (pos != applicable_cfds_.end() && *pos == gi) return;
+  applicable_cfds_.insert(pos, gi);
 }
 
 int VarMap::ValueIndex(int attr, const Value& v) const {
@@ -72,16 +100,22 @@ int VarMap::ValueIndex(int attr, const Value& v) const {
 }
 
 sat::Var VarMap::VarOf(int attr, int less, int more) const {
-  const int d = static_cast<int>(domains_[attr].size());
-  CCR_DCHECK(less >= 0 && more >= 0 && less < d && more < d);
+  CCR_DCHECK(less >= 0 && more >= 0 &&
+             less < static_cast<int>(domains_[attr].size()) &&
+             more < static_cast<int>(domains_[attr].size()));
   CCR_DCHECK(less != more);
-  return offsets_[attr] + less * d + more;
+  const int d = dense_sizes_[attr];
+  if (less < d && more < d) return offsets_[attr] + less * d + more;
+  auto it = ext_vars_.find(PackAtom(attr, less, more));
+  CCR_DCHECK(it != ext_vars_.end());
+  return it->second;
 }
 
 OrderAtom VarMap::Decode(sat::Var v) const {
+  if (v >= dense_num_vars_) return ext_atoms_[v - dense_num_vars_];
   int attr = num_attrs() - 1;
   while (attr > 0 && offsets_[attr] > v) --attr;
-  const int d = static_cast<int>(domains_[attr].size());
+  const int d = dense_sizes_[attr];
   const int rel = v - offsets_[attr];
   return OrderAtom{attr, rel / d, rel % d};
 }

@@ -14,6 +14,7 @@
 #ifndef CCR_ENCODE_VARMAP_H_
 #define CCR_ENCODE_VARMAP_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,6 +37,13 @@ struct OrderAtom {
 };
 
 /// \brief Per-attribute value domains and the dense atom ↔ variable map.
+///
+/// Supports incremental growth: values appended after Build (new user
+/// values, newly reachable CFD constants) keep every existing variable id
+/// stable — atoms over the build-time domains live in dense per-attribute
+/// blocks, atoms touching an appended value get fresh ids past the dense
+/// region (hash-mapped). This is what lets the ResolutionSession append
+/// CNF clauses across rounds instead of re-encoding.
 class VarMap {
  public:
   /// Builds domains from `se` and selects the applicable CFDs.
@@ -47,8 +55,12 @@ class VarMap {
   /// CFD constants).
   const std::vector<Value>& domain(int attr) const { return domains_[attr]; }
 
-  /// Number of values of `attr` that come from the active domain (a
-  /// prefix of domain(attr)); the rest were introduced by CFDs.
+  /// Number of values of `attr` that come from the active domain; the
+  /// rest were introduced by CFDs. At Build time the active values are a
+  /// prefix of domain(attr); incremental extension appends new active
+  /// values after any CFD constants, so this is a count, not a prefix
+  /// length. (Diagnostics only — a value introduced as a CFD constant and
+  /// later also observed in a tuple stays counted as a constant.)
   int active_domain_size(int attr) const { return adom_sizes_[attr]; }
 
   /// Index of `v` in domain(attr), or -1.
@@ -74,13 +86,37 @@ class VarMap {
   /// Renders an atom like "city: NY < LA" for diagnostics.
   std::string AtomToString(const OrderAtom& atom, const Schema& schema) const;
 
+  // --- incremental extension (ResolutionSession fast path) ---------------
+
+  /// Appends `v` to domain(attr) and allocates variables for every order
+  /// atom pairing it with the existing values (ids appended after
+  /// num_vars(); all prior ids stay valid). `active` says whether the
+  /// value comes from the (extended) active domain, as opposed to being a
+  /// CFD-introduced constant. Returns the value's index — the existing
+  /// one if `v` was already in the domain.
+  int AddDomainValue(int attr, const Value& v, bool active);
+
+  /// Records gamma index `gi` as applicable, keeping applicable_cfds()
+  /// sorted (Build emits it sorted; incremental discovery must match).
+  void MarkCfdApplicable(int gi);
+
  private:
+  static uint64_t PackAtom(int attr, int less, int more) {
+    return (static_cast<uint64_t>(attr) << 42) |
+           (static_cast<uint64_t>(less) << 21) | static_cast<uint64_t>(more);
+  }
+
   std::vector<std::vector<Value>> domains_;
   std::vector<int> adom_sizes_;
   std::vector<std::unordered_map<Value, int, ValueHash>> index_;
-  std::vector<int> offsets_;  // var id base per attribute
+  std::vector<int> offsets_;      // var id base per attribute (dense region)
+  std::vector<int> dense_sizes_;  // domain size covered by the dense block
   std::vector<int> applicable_cfds_;
   int num_vars_ = 0;
+  int dense_num_vars_ = 0;
+  // Atoms touching post-Build values: packed atom -> var, and the inverse.
+  std::unordered_map<uint64_t, sat::Var> ext_vars_;
+  std::vector<OrderAtom> ext_atoms_;
 };
 
 }  // namespace ccr

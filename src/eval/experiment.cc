@@ -1,6 +1,9 @@
 #include "src/eval/experiment.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
 
 #include "src/eval/pick.h"
 
@@ -20,27 +23,55 @@ ExperimentResult RunExperiment(const Dataset& ds,
       indices[i] = static_cast<int>(i);
     }
   }
+  const int n = static_cast<int>(indices.size());
 
-  for (int idx : indices) {
-    const EntityCase& ec = ds.entities[idx];
-    const Specification se =
-        ds.MakeSpec(idx, options.sigma_fraction, options.gamma_fraction,
-                    options.subset_seed);
-    TruthOracle oracle(ec.truth, options.answers_per_round,
-                       options.oracle_answer_prob,
-                       options.oracle_seed + static_cast<uint64_t>(idx));
-    ResolveOptions ropts = options.resolve;
-    ropts.max_rounds = options.max_rounds;
-    auto rr_or = Resolve(se, &oracle, ropts);
-    if (!rr_or.ok()) {
-      ++out.invalid_entities;
+  // Resolve entities under a work-stealing driver: workers pull the next
+  // unclaimed entity off a shared counter, so stragglers never idle a
+  // thread. Each entity is fully independent — its own specification copy,
+  // its own oracle (seeded by entity index), its own solver — and drops
+  // its result into a per-entity slot. Pooling happens afterwards in
+  // entity-index order, which makes the ExperimentResult bit-identical at
+  // any thread count (timings aside).
+  std::vector<std::optional<ResolveResult>> results(n);
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+      const int idx = indices[i];
+      const EntityCase& ec = ds.entities[idx];
+      const Specification se =
+          ds.MakeSpec(idx, options.sigma_fraction, options.gamma_fraction,
+                      options.subset_seed);
+      TruthOracle oracle(ec.truth, options.answers_per_round,
+                         options.oracle_answer_prob,
+                         options.oracle_seed + static_cast<uint64_t>(idx));
+      ResolveOptions ropts = options.resolve;
+      ropts.max_rounds = options.max_rounds;
+      auto rr_or = Resolve(se, &oracle, ropts);
+      if (rr_or.ok()) results[i] = std::move(rr_or).value();
+    }
+  };
+  const int n_threads = std::clamp(options.num_threads, 1, std::max(1, n));
+  if (n_threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (int t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const EntityCase& ec = ds.entities[indices[i]];
+    if (!results[i].has_value()) {
+      ++out.invalid_entities;  // Resolve returned an error
       continue;
     }
-    const ResolveResult& rr = rr_or.value();
+    const ResolveResult& rr = *results[i];
     ++out.entities;
     if (!rr.valid) ++out.invalid_entities;
     out.max_rounds_used = std::max(out.max_rounds_used, rr.rounds_used);
     for (const RoundTrace& t : rr.trace) {
+      out.encode_ms += t.encode_ms;
       out.validity_ms += t.validity_ms;
       out.deduce_ms += t.deduce_ms;
       out.suggest_ms += t.suggest_ms;

@@ -25,6 +25,12 @@ struct ExperimentOptions {
   double oracle_answer_prob = 1.0;  // per-attribute answer probability
   uint64_t oracle_seed = 0xACE;
   uint64_t subset_seed = 1;      // constraint subsetting
+  /// Worker threads resolving entities in parallel (1 = run inline).
+  /// Entities are independent (per-entity oracle seed, no shared state),
+  /// and results are pooled in entity-index order after all workers join,
+  /// so every thread count produces bit-identical ExperimentResults
+  /// (timings aside).
+  int num_threads = 1;
   ResolveOptions resolve;
 };
 
@@ -37,6 +43,7 @@ struct ExperimentResult {
   /// value is known after k rounds (the y-axis of Fig. 8(e)/(i)/(m)).
   std::vector<double> pct_true_by_round;
   /// Pooled per-phase wall time across entities (ms).
+  double encode_ms = 0;
   double validity_ms = 0;
   double deduce_ms = 0;
   double suggest_ms = 0;

@@ -91,10 +91,10 @@ bool Solver::AddClause(std::vector<Lit> lits) {
   return true;
 }
 
-void Solver::AddCnf(const Cnf& cnf) {
+void Solver::AddCnfFrom(const Cnf& cnf, int first_clause) {
   while (num_vars() < cnf.num_vars()) NewVar();
   std::vector<Lit> scratch;
-  for (int i = 0; i < cnf.num_clauses(); ++i) {
+  for (int i = first_clause; i < cnf.num_clauses(); ++i) {
     auto span = cnf.clause(i);
     scratch.assign(span.begin(), span.end());
     AddClause(std::move(scratch));
@@ -388,25 +388,36 @@ void Solver::ReduceDb() {
   learnts_.swap(kept);
 }
 
-void Solver::RemoveSatisfiedTopLevel() {
-  auto sweep = [this](std::vector<ClauseRef>* list) {
-    size_t j = 0;
-    for (ClauseRef c : *list) {
-      const Lit* lits = ClauseLits(c);
-      const int size = ClauseSize(c);
-      bool satisfied = false;
-      for (int k = 0; k < size && !satisfied; ++k) {
-        satisfied = ValueOf(lits[k]) == Lbool::kTrue;
-      }
-      if (satisfied) {
-        DetachClause(c);
-      } else {
-        (*list)[j++] = c;
-      }
+void Solver::SweepSatisfied(std::vector<ClauseRef>* list) {
+  size_t j = 0;
+  for (ClauseRef c : *list) {
+    const Lit* lits = ClauseLits(c);
+    const int size = ClauseSize(c);
+    bool satisfied = false;
+    for (int k = 0; k < size && !satisfied; ++k) {
+      satisfied = ValueOf(lits[k]) == Lbool::kTrue;
     }
-    list->resize(j);
-  };
-  sweep(&learnts_);
+    if (satisfied) {
+      DetachClause(c);
+    } else {
+      (*list)[j++] = c;
+    }
+  }
+  list->resize(j);
+}
+
+void Solver::RemoveSatisfiedTopLevel() { SweepSatisfied(&learnts_); }
+
+bool Solver::Simplify() {
+  CCR_DCHECK(DecisionLevel() == 0);
+  if (!ok_) return false;
+  if (Propagate() != kRefUndef) {
+    ok_ = false;
+    return false;
+  }
+  SweepSatisfied(&learnts_);
+  SweepSatisfied(&clauses_);
+  return true;
 }
 
 int64_t Solver::Luby(int64_t i) {
@@ -501,6 +512,13 @@ SolveResult Solver::Search(int64_t conflict_budget,
 }
 
 SolveResult Solver::SolveInternal(const std::vector<Lit>& assumptions) {
+  const SolverStats before = stats_;
+  const SolveResult r = SolveLoop(assumptions);
+  last_call_ = stats_ - before;
+  return r;
+}
+
+SolveResult Solver::SolveLoop(const std::vector<Lit>& assumptions) {
   conflict_core_.clear();
   if (!ok_) return SolveResult::kUnsat;
   for (Lit a : assumptions) {

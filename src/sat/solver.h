@@ -41,6 +41,13 @@ struct SolverStats {
   int64_t propagations = 0;
   int64_t restarts = 0;
   int64_t learnt_literals = 0;
+
+  /// Component-wise difference (for per-call deltas).
+  SolverStats operator-(const SolverStats& o) const {
+    return {conflicts - o.conflicts, decisions - o.decisions,
+            propagations - o.propagations, restarts - o.restarts,
+            learnt_literals - o.learnt_literals};
+  }
 };
 
 /// \brief Incremental CDCL solver.
@@ -65,7 +72,12 @@ class Solver {
   bool AddClause(std::vector<Lit> lits);
 
   /// Adds every clause of `cnf`, growing the variable universe as needed.
-  void AddCnf(const Cnf& cnf);
+  void AddCnf(const Cnf& cnf) { AddCnfFrom(cnf, 0); }
+
+  /// Adds the clauses of `cnf` starting at index `first_clause`. Used by
+  /// callers that keep one solver alive while their CNF grows append-only
+  /// (the ResolutionSession pipeline): only the new suffix is fed.
+  void AddCnfFrom(const Cnf& cnf, int first_clause);
 
   /// Decides satisfiability of the accumulated clauses.
   SolveResult Solve() { return SolveInternal({}); }
@@ -84,6 +96,18 @@ class Solver {
   const std::vector<Lit>& FailedAssumptions() const { return conflict_core_; }
 
   const SolverStats& stats() const { return stats_; }
+
+  /// Statistics of the most recent Solve/SolveWithAssumptions call alone.
+  /// With one solver shared across pipeline phases (validity, deduction,
+  /// suggestion) the cumulative counters blend phases together; the
+  /// per-call delta keeps phase attribution meaningful.
+  const SolverStats& last_call_stats() const { return last_call_; }
+
+  /// Top-level simplification hook: propagates any pending level-0 facts
+  /// and detaches problem and learnt clauses already satisfied at level 0.
+  /// Intended between rounds of an incremental session, after new clauses
+  /// were appended. Returns false if the solver is (now) unsatisfiable.
+  bool Simplify();
 
   /// True if unsatisfiability was established independent of assumptions.
   bool IsUnsatForever() const { return !ok_; }
@@ -114,6 +138,7 @@ class Solver {
 
   // --- search ----------------------------------------------------------
   SolveResult SolveInternal(const std::vector<Lit>& assumptions);
+  SolveResult SolveLoop(const std::vector<Lit>& assumptions);
   SolveResult Search(int64_t conflict_budget,
                      const std::vector<Lit>& assumptions);
   ClauseRef Propagate();
@@ -127,6 +152,7 @@ class Solver {
   void DetachClause(ClauseRef c);
   void ReduceDb();
   void RemoveSatisfiedTopLevel();
+  void SweepSatisfied(std::vector<ClauseRef>* list);
 
   Lbool ValueOf(Lit p) const {
     return LboolOf(assigns_[p.var()], p.negated());
@@ -147,6 +173,7 @@ class Solver {
 
   SolverOptions options_;
   SolverStats stats_;
+  SolverStats last_call_;
   bool ok_ = true;  // false once UNSAT independent of assumptions
 
   std::vector<uint32_t> arena_;

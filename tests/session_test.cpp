@@ -1,0 +1,300 @@
+// Tests for the encode-once/solve-many pipeline (src/core/session.h):
+// the session engine must be indistinguishable from a from-scratch
+// per-round rebuild, across generators, multi-round oracle runs, the
+// invalid-answer path, and the incremental/rebuild extension split.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "paper_fixture.h"
+#include "src/core/session.h"
+#include "src/data/career_generator.h"
+#include "src/data/dataset.h"
+#include "src/data/nba_generator.h"
+#include "src/data/person_generator.h"
+
+namespace ccr {
+namespace {
+
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+void ExpectSameResult(const ResolveResult& a, const ResolveResult& b,
+                      const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(a.valid, b.valid);
+  EXPECT_EQ(a.complete, b.complete);
+  EXPECT_EQ(a.rounds_used, b.rounds_used);
+  ASSERT_EQ(a.true_values.size(), b.true_values.size());
+  for (size_t i = 0; i < a.true_values.size(); ++i) {
+    EXPECT_EQ(a.true_values[i], b.true_values[i]) << "attr " << i;
+  }
+  EXPECT_EQ(a.resolved, b.resolved);
+  EXPECT_EQ(a.user_provided, b.user_provided);
+  ASSERT_EQ(a.round_values.size(), b.round_values.size());
+  for (size_t k = 0; k < a.round_values.size(); ++k) {
+    for (size_t i = 0; i < a.round_values[k].size(); ++i) {
+      EXPECT_EQ(a.round_values[k][i], b.round_values[k][i])
+          << "round " << k << " attr " << i;
+    }
+    EXPECT_EQ(a.round_resolved[k], b.round_resolved[k]) << "round " << k;
+  }
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (size_t k = 0; k < a.trace.size(); ++k) {
+    EXPECT_EQ(a.trace[k].round, b.trace[k].round);
+    EXPECT_EQ(a.trace[k].resolved_attrs, b.trace[k].resolved_attrs);
+  }
+}
+
+// Resolves every entity of `ds` through both engines and demands
+// identical results. answers_per_round = 1 forces several interaction
+// rounds, exercising repeated incremental extension.
+void ExpectEquivalenceOnDataset(const Dataset& ds, int max_rounds,
+                                int answers_per_round) {
+  for (size_t e = 0; e < ds.entities.size(); ++e) {
+    ResolveOptions session_opts;
+    session_opts.max_rounds = max_rounds;
+    session_opts.use_session = true;
+    ResolveOptions legacy_opts = session_opts;
+    legacy_opts.use_session = false;
+
+    TruthOracle session_oracle(ds.entities[e].truth, answers_per_round);
+    TruthOracle legacy_oracle(ds.entities[e].truth, answers_per_round);
+    auto with_session =
+        Resolve(ds.MakeSpec(static_cast<int>(e)), &session_oracle,
+                session_opts);
+    auto with_legacy = Resolve(ds.MakeSpec(static_cast<int>(e)),
+                               &legacy_oracle, legacy_opts);
+    ASSERT_EQ(with_session.ok(), with_legacy.ok());
+    if (!with_session.ok()) continue;
+    ExpectSameResult(*with_session, *with_legacy,
+                     ds.name + " entity " + std::to_string(e));
+
+    // No-oracle (fully automatic) pass as well.
+    auto auto_session =
+        Resolve(ds.MakeSpec(static_cast<int>(e)), nullptr, session_opts);
+    auto auto_legacy =
+        Resolve(ds.MakeSpec(static_cast<int>(e)), nullptr, legacy_opts);
+    ASSERT_TRUE(auto_session.ok());
+    ASSERT_TRUE(auto_legacy.ok());
+    ExpectSameResult(*auto_session, *auto_legacy,
+                     ds.name + " entity " + std::to_string(e) + " (auto)");
+  }
+}
+
+TEST(SessionEquivalenceTest, NbaMultiRound) {
+  NbaOptions opts;
+  opts.num_entities = 12;
+  opts.max_tuples = 60;
+  ExpectEquivalenceOnDataset(GenerateNba(opts), /*max_rounds=*/3,
+                             /*answers_per_round=*/1);
+}
+
+TEST(SessionEquivalenceTest, CareerMultiRound) {
+  CareerOptions opts;
+  opts.num_entities = 10;
+  opts.max_tuples = 60;
+  ExpectEquivalenceOnDataset(GenerateCareer(opts), /*max_rounds=*/3,
+                             /*answers_per_round=*/1);
+}
+
+TEST(SessionEquivalenceTest, PersonMultiRound) {
+  PersonOptions opts;
+  opts.num_entities = 8;
+  opts.min_tuples = 8;
+  opts.max_tuples = 48;
+  ExpectEquivalenceOnDataset(GeneratePerson(opts), /*max_rounds=*/3,
+                             /*answers_per_round=*/1);
+}
+
+TEST(SessionEquivalenceTest, PaperExampleMultiAnswerRounds) {
+  // The George example with generous answers resolves in one round; with
+  // one answer per round it takes several — run both widths.
+  const Schema s = PaperSchema();
+  std::vector<Value> truth(s.size(), Value::Null());
+  truth[s.IndexOf("status")] = Value::Str("retired");
+  for (int per_round : {1, 100}) {
+    ResolveOptions session_opts;
+    session_opts.use_session = true;
+    ResolveOptions legacy_opts = session_opts;
+    legacy_opts.use_session = false;
+    TruthOracle o1(truth, per_round), o2(truth, per_round);
+    auto a = Resolve(GeorgeSpec(), &o1, session_opts);
+    auto b = Resolve(GeorgeSpec(), &o2, legacy_opts);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectSameResult(*a, *b,
+                     "george per_round=" + std::to_string(per_round));
+  }
+}
+
+// Oracle answering its fixed script for *every* scripted attribute, even
+// ones the suggestion did not ask for (users may volunteer values) — used
+// to push the session into the invalid-answer branch.
+class ScriptedOracle : public UserOracle {
+ public:
+  explicit ScriptedOracle(std::vector<Value> values)
+      : values_(std::move(values)) {}
+
+  std::vector<Answer> Provide(const Specification&, const Suggestion&,
+                              const VarMap&) override {
+    if (answered_) return {};
+    answered_ = true;
+    std::vector<Answer> out;
+    for (size_t attr = 0; attr < values_.size(); ++attr) {
+      if (!values_[attr].is_null()) {
+        out.push_back({static_cast<int>(attr), values_[attr]});
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::vector<Value> values_;
+  bool answered_ = false;
+};
+
+// A two-attribute spec with a CFD A=a1 -> B=b1 and no currency orders.
+Specification CfdSpec() {
+  Schema schema = Schema::Make({"A", "B"}).value();
+  EntityInstance e(schema, "cfd-entity");
+  EXPECT_TRUE(
+      e.Add(Tuple({Value::Str("a1"), Value::Str("b1")})).ok());
+  EXPECT_TRUE(
+      e.Add(Tuple({Value::Str("a2"), Value::Str("b2")})).ok());
+  Specification se;
+  se.temporal = TemporalInstance(std::move(e));
+  se.gamma.emplace_back(
+      std::vector<std::pair<int, Value>>{{0, Value::Str("a1")}}, 1,
+      Value::Str("b1"));
+  return se;
+}
+
+TEST(SessionEquivalenceTest, InvalidAnswerPathMatchesLegacy) {
+  // Answering A=a1 and B=b2 contradicts the CFD (a1 current forces b1
+  // current): the extended specification is invalid and both engines must
+  // report the same partial result.
+  std::vector<Value> script = {Value::Str("a1"), Value::Str("b2")};
+  ResolveOptions session_opts;
+  session_opts.use_session = true;
+  ResolveOptions legacy_opts = session_opts;
+  legacy_opts.use_session = false;
+
+  ScriptedOracle o1(script), o2(script);
+  auto a = Resolve(CfdSpec(), &o1, session_opts);
+  auto b = Resolve(CfdSpec(), &o2, legacy_opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Round 0 is valid-but-incomplete; the answers make round 1 invalid.
+  EXPECT_FALSE(a->complete);
+  EXPECT_TRUE(a->valid);
+  ASSERT_EQ(a->trace.size(), 2u);
+  ExpectSameResult(*a, *b, "invalid answer");
+}
+
+TEST(ResolutionSessionTest, InDomainAnswerTakesIncrementalPath) {
+  auto session = ResolutionSession::Create(CfdSpec());
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->CheckValidity().valid);
+
+  // t_o answers A = a2 (already in the domain): append-only extension.
+  PartialTemporalOrder ot;
+  ot.new_tuples.push_back(Tuple({Value::Str("a2"), Value::Null()}));
+  ot.orders.emplace_back(0, 0, 2);
+  ot.orders.emplace_back(0, 1, 2);
+  ASSERT_TRUE(session->ExtendWith(ot).ok());
+  EXPECT_EQ(session->incremental_extensions(), 1);
+  EXPECT_EQ(session->rebuilds(), 0);
+  EXPECT_TRUE(session->CheckValidity().valid);
+}
+
+TEST(ResolutionSessionTest, NewCfdLhsValueFallsBackToRebuild) {
+  auto session = ResolutionSession::Create(CfdSpec());
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->CheckValidity().valid);
+
+  // t_o carries a *new* value for A — the LHS attribute of the grounded
+  // CFD — which strengthens the CFD's rule bodies: not expressible
+  // append-only, so the session must rebuild (and still be correct).
+  PartialTemporalOrder ot;
+  ot.new_tuples.push_back(Tuple({Value::Str("a3"), Value::Null()}));
+  ot.orders.emplace_back(0, 0, 2);
+  ot.orders.emplace_back(0, 1, 2);
+  ASSERT_TRUE(session->ExtendWith(ot).ok());
+  EXPECT_EQ(session->incremental_extensions(), 0);
+  EXPECT_EQ(session->rebuilds(), 1);
+  EXPECT_TRUE(session->CheckValidity().valid);
+
+  // The rebuilt encoding matches a from-scratch grounding of the
+  // extended specification.
+  auto direct = Extend(CfdSpec(), ot);
+  ASSERT_TRUE(direct.ok());
+  auto fresh = Instantiation::Build(*direct);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(session->instantiation().constraints.size(),
+            fresh->constraints.size());
+  EXPECT_EQ(session->cnf().num_clauses(), BuildCnf(*fresh).num_clauses());
+}
+
+TEST(ResolutionSessionTest, NewNonCfdValueStaysIncremental) {
+  // A new value in B (the CFD's RHS attribute, not its LHS) only *adds*
+  // competing-value rules — still append-only.
+  auto session = ResolutionSession::Create(CfdSpec());
+  ASSERT_TRUE(session.ok());
+  const int vars_before = session->instantiation().varmap.num_vars();
+
+  PartialTemporalOrder ot;
+  ot.new_tuples.push_back(Tuple({Value::Null(), Value::Str("b3")}));
+  ot.orders.emplace_back(1, 0, 2);
+  ot.orders.emplace_back(1, 1, 2);
+  ASSERT_TRUE(session->ExtendWith(ot).ok());
+  EXPECT_EQ(session->incremental_extensions(), 1);
+  EXPECT_EQ(session->rebuilds(), 0);
+  // The new value grew the variable universe append-only and counts as
+  // an active-domain value.
+  EXPECT_GT(session->instantiation().varmap.num_vars(), vars_before);
+  EXPECT_EQ(session->instantiation().varmap.active_domain_size(1), 3);
+  EXPECT_TRUE(session->CheckValidity().valid);
+
+  // Deduction on the extended session agrees with a fresh encoding.
+  auto direct = Extend(CfdSpec(), ot);
+  ASSERT_TRUE(direct.ok());
+  auto fresh = Instantiation::Build(*direct);
+  ASSERT_TRUE(fresh.ok());
+  const sat::Cnf fresh_cnf = BuildCnf(*fresh);
+  const DeducedOrders od_fresh = DeduceOrder(*fresh, fresh_cnf);
+  const DeducedOrders od_session = session->Deduce();
+  EXPECT_EQ(od_fresh.CountPairs(), od_session.CountPairs());
+}
+
+TEST(ResolutionSessionTest, NaiveDeduceSharesSessionSolver) {
+  ResolveOptions opts;
+  opts.naive_deduce = true;
+  auto session = ResolutionSession::Create(GeorgeSpec(), opts);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->CheckValidity().valid);
+  const DeducedOrders od_shared = session->Deduce();
+
+  auto inst = Instantiation::Build(GeorgeSpec());
+  ASSERT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  const DeducedOrders od_fresh = NaiveDeduce(*inst, phi);
+  EXPECT_EQ(od_shared.CountPairs(), od_fresh.CountPairs());
+}
+
+TEST(ResolutionSessionTest, ValidityConflictsArePerCallDelta) {
+  auto session = ResolutionSession::Create(GeorgeSpec());
+  ASSERT_TRUE(session.ok());
+  const ValidityResult first = session->CheckValidity();
+  // A second check on the same solver must not accumulate the first
+  // call's conflicts into its own count.
+  const ValidityResult second = session->CheckValidity();
+  EXPECT_TRUE(first.valid);
+  EXPECT_TRUE(second.valid);
+  EXPECT_GE(first.solver_conflicts, 0);
+  EXPECT_LE(second.solver_conflicts, first.solver_conflicts + 1);
+}
+
+}  // namespace
+}  // namespace ccr
