@@ -14,8 +14,15 @@
 //   * "thread_scaling": RunExperiment entities/sec at 1 and N threads
 //     (N = CCR_BENCH_THREADS, default 8) over the same corpus, plus a
 //     determinism check of the pooled accuracy vectors.
+//   * "allocation_pooling": the cross-entity SessionScratch effect — the
+//     same single-threaded batch with reuse_allocations off (every entity
+//     allocates its solver arena / watch lists / CNF pool from cold) vs.
+//     on (entity N+1 recycles entity N's warm buffers), plus a check that
+//     pooling leaves the results bit-identical.
 //
-// CCR_BENCH_SCALE multiplies entity counts as in the other benches.
+// CCR_BENCH_SCALE multiplies entity counts as in the other benches;
+// CCR_BENCH_TUPLES overrides the per-entity tuple floor (default 1000 —
+// CI's bench-smoke job shrinks it so the gate finishes in seconds).
 
 #include <algorithm>
 #include <cstdio>
@@ -38,11 +45,20 @@ int BenchThreads() {
   return 8;
 }
 
+int BenchTuples() {
+  const char* env = std::getenv("CCR_BENCH_TUPLES");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 1000;
+}
+
 Dataset BigPersonCorpus(int num_entities) {
   PersonOptions opts;
   opts.num_entities = num_entities;
-  opts.min_tuples = 1000;
-  opts.max_tuples = 1200;
+  opts.min_tuples = BenchTuples();
+  opts.max_tuples = opts.min_tuples + opts.min_tuples / 5;
   opts.seed = 90210;
   // Histories rich in gap steps and mid-stage moves: several attributes
   // whose currency information genuinely is not in Σ, so a one-answer
@@ -143,6 +159,22 @@ int main() {
   const double eps1 = t1_sec > 0 ? n_entities / t1_sec : 0.0;
   const double epsn = tn_sec > 0 ? n_entities / tn_sec : 0.0;
 
+  // --- cross-entity allocation pooling (SessionScratch) ------------------
+  ExperimentOptions popts;
+  popts.max_rounds = 3;
+  popts.answers_per_round = 1;
+  popts.num_threads = 1;
+
+  popts.reuse_allocations = false;
+  timer.Restart();
+  const ExperimentResult r_cold = RunExperiment(inc_ds, popts);
+  const double cold_sec = timer.ElapsedMs() / 1000.0;
+
+  popts.reuse_allocations = true;
+  timer.Restart();
+  const ExperimentResult r_pooled = RunExperiment(inc_ds, popts);
+  const double pooled_sec = timer.ElapsedMs() / 1000.0;
+
   std::printf("{\n");
   std::printf("  \"bench\": \"throughput\",\n");
   std::printf("  \"scale\": %d,\n", scale);
@@ -172,6 +204,16 @@ int main() {
               tn_sec > 0 ? t1_sec / tn_sec : 0.0);
   std::printf("    \"deterministic\": %s\n",
               SameAccuracy(r1, rn) ? "true" : "false");
+  std::printf("  },\n");
+  std::printf("  \"allocation_pooling\": {\n");
+  std::printf("    \"entities\": %d,\n",
+              static_cast<int>(inc_ds.entities.size()));
+  std::printf("    \"cold_seconds\": %.3f,\n", cold_sec);
+  std::printf("    \"pooled_seconds\": %.3f,\n", pooled_sec);
+  std::printf("    \"speedup\": %.3f,\n",
+              pooled_sec > 0 ? cold_sec / pooled_sec : 0.0);
+  std::printf("    \"deterministic\": %s\n",
+              SameAccuracy(r_cold, r_pooled) ? "true" : "false");
   std::printf("  }\n");
   std::printf("}\n");
   return 0;

@@ -18,6 +18,9 @@ CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release -DCCR_BUILD_TESTS=OF
 if [[ -z "${CMAKE_GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
   CMAKE_ARGS+=(-G Ninja)
 fi
+if [[ "${CCR_CCACHE:-}" == "ON" ]] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
 
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j --target bench

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI bench-smoke: run bench_throughput at a tiny size and gate on its JSON.
+#
+# Shrinks the corpus (CCR_BENCH_TUPLES) so the run finishes in seconds,
+# then fails if
+#   * either engine-equivalence or determinism check reported false, or
+#   * the session/legacy incremental speedup fell below a generous floor
+#     (CCR_BENCH_SPEEDUP_FLOOR, default 1.5 — the full-size run measures
+#     ~20x, so tripping the floor means the incremental path regressed
+#     catastrophically, not that the runner was noisy).
+#
+# The JSON lands in BENCH_throughput.json (CI uploads it as an artifact —
+# the repo's perf trajectory across PRs).
+#
+# Usage: scripts/bench_smoke.sh [build-dir]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CCR_BENCH_SCALE="${CCR_BENCH_SCALE:-1}"
+export CCR_BENCH_TUPLES="${CCR_BENCH_TUPLES:-250}"
+export CCR_BENCH_THREADS="${CCR_BENCH_THREADS:-2}"
+FLOOR="${CCR_BENCH_SPEEDUP_FLOOR:-1.5}"
+
+scripts/bench.sh "${1:-build-bench}"
+
+echo
+echo "Gating BENCH_throughput.json (incremental speedup floor: ${FLOOR}x)"
+jq -e --argjson floor "$FLOOR" '
+  (.incremental.identical_results == true)
+  and (.incremental.resolve_errors == 0)
+  and (.thread_scaling.deterministic == true)
+  and (.allocation_pooling.deterministic == true)
+  and (.incremental.speedup >= $floor)
+' BENCH_throughput.json >/dev/null || {
+  echo "FAIL: bench smoke gate tripped; BENCH_throughput.json:" >&2
+  cat BENCH_throughput.json >&2
+  exit 1
+}
+echo "OK: incremental speedup $(jq .incremental.speedup BENCH_throughput.json)x," \
+     "pooling speedup $(jq .allocation_pooling.speedup BENCH_throughput.json)x," \
+     "all equivalence checks true"

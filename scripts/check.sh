@@ -10,6 +10,9 @@
 #   CCR_BUILD_TYPE=... override the CMake build type (e.g. Release; the
 #                      CI release job runs the whole suite with -O2/NDEBUG
 #                      so the perf-path code is tested as benchmarked)
+#   CCR_SANITIZE=ON    build everything with ASan+UBSan and run the whole
+#                      suite under the sanitizers (the CI sanitize job)
+#   CCR_CCACHE=ON      route compilation through ccache (CI caches it)
 #   CMAKE_GENERATOR    honored as usual (Ninja is used when available)
 
 set -euo pipefail
@@ -23,6 +26,12 @@ if [[ -n "${CCR_WERROR:-}" ]]; then
 fi
 if [[ -n "${CCR_BUILD_TYPE:-}" ]]; then
   CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE="$CCR_BUILD_TYPE")
+fi
+if [[ -n "${CCR_SANITIZE:-}" ]]; then
+  CMAKE_ARGS+=(-DCCR_SANITIZE="$CCR_SANITIZE")
+fi
+if [[ "${CCR_CCACHE:-}" == "ON" ]] && command -v ccache >/dev/null 2>&1; then
+  CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 if [[ -z "${CMAKE_GENERATOR:-}" ]] && command -v ninja >/dev/null 2>&1; then
   CMAKE_ARGS+=(-G Ninja)

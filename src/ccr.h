@@ -35,6 +35,7 @@
 #include "src/eval/experiment.h"
 #include "src/eval/metrics.h"
 #include "src/eval/pick.h"
+#include "src/eval/result_io.h"
 #include "src/graph/clique.h"
 #include "src/maxsat/maxsat.h"
 #include "src/maxsat/walksat.h"

@@ -21,6 +21,8 @@
 
 namespace ccr {
 
+class SessionScratch;  // src/core/session.h
+
 /// \brief Interface for the user in the framework loop. Implementations:
 /// OracleUser (tests/benches, answers from ground truth), callers may
 /// provide interactive ones.
@@ -56,6 +58,13 @@ struct ResolveOptions {
   /// identical results, the flag exists for regression tests and the
   /// bench_throughput comparison.
   bool use_session = true;
+  /// Borrowed (not owned) per-worker allocation pool the session engine
+  /// recycles its solver and CNF buffers from, so back-to-back Resolve
+  /// calls start warm (batch drivers resolving many entities on one
+  /// thread). Null = the session allocates privately. Results are
+  /// bit-identical either way; the legacy engine ignores it. The scratch
+  /// must outlive the Resolve call and serve one resolution at a time.
+  SessionScratch* scratch = nullptr;
 };
 
 /// Per-round timings and progress, aggregated by the benchmarks

@@ -6,6 +6,44 @@
 
 namespace ccr {
 
+sat::Solver* SessionScratch::AcquireSolver(const sat::SolverOptions& options) {
+  if (solver_ == nullptr) {
+    solver_ = std::make_unique<sat::Solver>(options);
+  } else {
+    solver_->Reset(options);
+    ++solver_reuses_;
+  }
+  return solver_.get();
+}
+
+sat::Cnf* SessionScratch::AcquireCnf() {
+  if (cnf_ == nullptr) {
+    cnf_ = std::make_unique<sat::Cnf>();
+  } else {
+    cnf_->Clear();
+  }
+  return cnf_.get();
+}
+
+void ResolutionSession::AdoptSolverAndCnf() {
+  if (options_.scratch != nullptr) {
+    cnf_ = options_.scratch->AcquireCnf();
+    solver_ = options_.scratch->AcquireSolver(options_.solver);
+    owned_cnf_.reset();
+    owned_solver_.reset();
+  } else if (owned_solver_ != nullptr) {
+    // Rebuild within a scratch-free session: recycle our own objects the
+    // same way a scratch would.
+    cnf_->Clear();
+    solver_->Reset(options_.solver);
+  } else {
+    owned_cnf_ = std::make_unique<sat::Cnf>();
+    owned_solver_ = std::make_unique<sat::Solver>(options_.solver);
+    cnf_ = owned_cnf_.get();
+    solver_ = owned_solver_.get();
+  }
+}
+
 Result<ResolutionSession> ResolutionSession::Create(
     const Specification& se, const ResolveOptions& options) {
   ResolutionSession s;
@@ -13,31 +51,31 @@ Result<ResolutionSession> ResolutionSession::Create(
   s.spec_ = se;
   Timer timer;
   CCR_ASSIGN_OR_RETURN(s.inst_, Instantiation::Build(s.spec_));
-  s.cnf_ = BuildCnf(s.inst_);
-  s.solver_ = std::make_unique<sat::Solver>(options.solver);
+  s.AdoptSolverAndCnf();
+  BuildCnfInto(s.inst_, s.cnf_);
   s.FeedSolver();
   s.last_encode_ms_ = timer.ElapsedMs();
   return s;
 }
 
 void ResolutionSession::FeedSolver() {
-  solver_->AddCnfFrom(cnf_, fed_clauses_);
-  fed_clauses_ = cnf_.num_clauses();
+  solver_->AddCnfFrom(*cnf_, fed_clauses_);
+  fed_clauses_ = cnf_->num_clauses();
 }
 
 ValidityResult ResolutionSession::CheckValidity() {
-  return IsValidShared(solver_.get(), cnf_);
+  return IsValidShared(solver_, *cnf_);
 }
 
 DeducedOrders ResolutionSession::Deduce() {
-  return options_.naive_deduce ? NaiveDeduceShared(inst_, solver_.get())
-                               : DeduceOrder(inst_, cnf_, options_.deduce);
+  return options_.naive_deduce ? NaiveDeduceShared(inst_, solver_)
+                               : DeduceOrder(inst_, *cnf_, options_.deduce);
 }
 
 Suggestion ResolutionSession::MakeSuggestion(
     const std::vector<std::vector<int>>& candidates,
     const std::vector<int>& known_true) {
-  return Suggest(inst_, cnf_, candidates, known_true, options_.suggest);
+  return Suggest(inst_, *cnf_, candidates, known_true, options_.suggest);
 }
 
 Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
@@ -46,15 +84,16 @@ Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
   CCR_ASSIGN_OR_RETURN(InstantiationDelta delta, inst_.ExtendWith(next, ot));
   if (delta.needs_rebuild) {
     // The delta strengthens already-emitted CFD bodies; append-only
-    // encoding cannot express that, so re-encode from scratch.
+    // encoding cannot express that, so re-encode from scratch (recycling
+    // the buffers we already grew).
     CCR_ASSIGN_OR_RETURN(inst_, Instantiation::Build(next));
-    cnf_ = BuildCnf(inst_);
-    solver_ = std::make_unique<sat::Solver>(options_.solver);
+    AdoptSolverAndCnf();
+    BuildCnfInto(inst_, cnf_);
     fed_clauses_ = 0;
     FeedSolver();
     ++rebuilds_;
   } else {
-    ExtendCnf(inst_, delta, &cnf_);
+    ExtendCnf(inst_, delta, cnf_);
     FeedSolver();
     // New clauses may have asserted fresh top-level facts; fold them in
     // and drop clauses they satisfy before the next phase solves.

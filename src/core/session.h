@@ -22,12 +22,46 @@
 #ifndef CCR_CORE_SESSION_H_
 #define CCR_CORE_SESSION_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "src/core/resolver.h"
+#include "src/sat/cnf.h"
+#include "src/sat/solver.h"
 
 namespace ccr {
+
+/// \brief Reusable solver/CNF allocations shared by back-to-back sessions
+/// on one worker thread (cross-entity pooling).
+///
+/// A batch driver resolves thousands of entities per thread, and every
+/// session used to grow its solver's clause arena, watch lists and the CNF
+/// literal pool from cold. A scratch keeps those buffers alive between
+/// sessions: Acquire* hands out the same objects semantically reset to
+/// their freshly-constructed state (Solver::Reset, Cnf::Clear), so entity
+/// N+1 reuses entity N's warm allocations while every result stays
+/// bit-identical to a scratch-free run.
+///
+/// A scratch serves ONE live session at a time and must outlive it. Not
+/// thread-safe — use one scratch per worker thread.
+class SessionScratch {
+ public:
+  /// A solver observably identical to `Solver(options)`, recycled when a
+  /// previous session already grew one.
+  sat::Solver* AcquireSolver(const sat::SolverOptions& options);
+
+  /// An empty CNF, recycled with its pool capacity intact.
+  sat::Cnf* AcquireCnf();
+
+  /// Acquire calls that recycled a warm object instead of allocating.
+  int64_t solver_reuses() const { return solver_reuses_; }
+
+ private:
+  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<sat::Cnf> cnf_;
+  int64_t solver_reuses_ = 0;
+};
 
 /// \brief Encode-once/solve-many pipeline state for one specification.
 class ResolutionSession {
@@ -53,7 +87,7 @@ class ResolutionSession {
 
   const Specification& spec() const { return spec_; }
   const Instantiation& instantiation() const { return inst_; }
-  const sat::Cnf& cnf() const { return cnf_; }
+  const sat::Cnf& cnf() const { return *cnf_; }
 
   /// Wall time the last Create/ExtendWith spent grounding + encoding (ms).
   double last_encode_ms() const { return last_encode_ms_; }
@@ -64,14 +98,21 @@ class ResolutionSession {
  private:
   ResolutionSession() = default;
 
+  /// Points solver_/cnf_ at fresh objects: the scratch's recycled ones
+  /// when options_.scratch is set, privately owned ones otherwise. Both
+  /// targets are heap-stable, so moving the session keeps them valid.
+  void AdoptSolverAndCnf();
+
   /// Feeds the solver the cnf_ suffix it has not seen yet.
   void FeedSolver();
 
   ResolveOptions options_;
   Specification spec_;
   Instantiation inst_;
-  sat::Cnf cnf_;
-  std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<sat::Cnf> owned_cnf_;        // null when scratch-backed
+  std::unique_ptr<sat::Solver> owned_solver_;  // null when scratch-backed
+  sat::Cnf* cnf_ = nullptr;
+  sat::Solver* solver_ = nullptr;
   int fed_clauses_ = 0;  // prefix of cnf_ already in the solver
   double last_encode_ms_ = 0;
   int incremental_extensions_ = 0;

@@ -22,8 +22,16 @@ void AddConstraintClause(const VarMap& vm, const GroundConstraint& gc,
 }  // namespace
 
 sat::Cnf BuildCnf(const Instantiation& inst, const CnfBuildOptions& options) {
-  const VarMap& vm = inst.varmap;
   sat::Cnf cnf;
+  BuildCnfInto(inst, &cnf, options);
+  return cnf;
+}
+
+void BuildCnfInto(const Instantiation& inst, sat::Cnf* out,
+                  const CnfBuildOptions& options) {
+  const VarMap& vm = inst.varmap;
+  sat::Cnf& cnf = *out;
+  cnf.Clear();
   cnf.EnsureVars(vm.num_vars());
 
   // Materialized ground constraints.
@@ -57,7 +65,6 @@ sat::Cnf BuildCnf(const Instantiation& inst, const CnfBuildOptions& options) {
       }
     }
   }
-  return cnf;
 }
 
 void ExtendCnf(const Instantiation& inst, const InstantiationDelta& delta,

@@ -1,7 +1,7 @@
 // ConvertToCNF: Φ(Se) from Ω(Se) (§V-A).
 //
-// Every materialized ground constraint (b1 ∧ ... ∧ bk → h) becomes the
-// clause (¬b1 ∨ ... ∨ ¬bk ∨ h); transitivity and asymmetry of each ≺^v_A
+// Every materialized ground constraint (b1 ∧ ... ∧ bk → h) becomes
+// the clause (¬b1 ∨ ... ∨ ¬bk ∨ h); transitivity and asymmetry of ≺^v_A
 // are streamed straight into the CNF from the domains. By Lemma 5 of the
 // paper, Se is valid iff Φ(Se) is satisfiable (a consistent strict partial
 // order always extends to a total order).
@@ -24,7 +24,14 @@ struct CnfBuildOptions {
 };
 
 /// Builds Φ(Se) over the variables of `inst.varmap`.
-sat::Cnf BuildCnf(const Instantiation& inst, const CnfBuildOptions& options = {});
+sat::Cnf BuildCnf(const Instantiation& inst,
+                  const CnfBuildOptions& options = {});
+
+/// Builds Φ(Se) into `*cnf` (cleared first, keeping its buffer capacity).
+/// Identical output to BuildCnf; the out-parameter form lets a recycled
+/// formula (SessionScratch) be refilled without fresh allocations.
+void BuildCnfInto(const Instantiation& inst, sat::Cnf* cnf,
+                  const CnfBuildOptions& options = {});
 
 /// Appends to `cnf` exactly the clauses Φ(Se ⊕ Ot) gains from an
 /// Instantiation::ExtendWith call: one clause per new ground constraint,

@@ -5,9 +5,29 @@
 #include <optional>
 #include <thread>
 
+#include "src/core/session.h"
 #include "src/eval/pick.h"
 
 namespace ccr {
+
+void RecomputePctTrueByRound(ExperimentResult* r) {
+  const size_t n_rounds = r->accuracy_by_round.size();
+  r->pct_true_by_round.resize(n_rounds);
+  for (size_t k = 0; k < n_rounds; ++k) {
+    const AccuracyCounts& c = r->accuracy_by_round[k];
+    r->pct_true_by_round[k] =
+        c.conflicts == 0 ? 0.0
+                         : static_cast<double>(c.deduced) / c.conflicts;
+  }
+}
+
+std::vector<int> ShardIndices(int num_entities, int shard, int num_shards) {
+  std::vector<int> out;
+  if (num_shards <= 0 || shard < 0 || shard >= num_shards) return out;
+  out.reserve(static_cast<size_t>(num_entities / num_shards) + 1);
+  for (int i = shard; i < num_entities; i += num_shards) out.push_back(i);
+  return out;
+}
 
 ExperimentResult RunExperiment(const Dataset& ds,
                                const ExperimentOptions& options,
@@ -35,6 +55,10 @@ ExperimentResult RunExperiment(const Dataset& ds,
   std::vector<std::optional<ResolveResult>> results(n);
   std::atomic<int> next{0};
   auto worker = [&]() {
+    // Cross-entity pooling: one scratch per worker, so consecutive
+    // entities on this thread recycle the same solver arena / watch lists
+    // / CNF pool instead of growing them from cold.
+    SessionScratch scratch;
     for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
       const int idx = indices[i];
       const EntityCase& ec = ds.entities[idx];
@@ -46,6 +70,10 @@ ExperimentResult RunExperiment(const Dataset& ds,
                          options.oracle_seed + static_cast<uint64_t>(idx));
       ResolveOptions ropts = options.resolve;
       ropts.max_rounds = options.max_rounds;
+      // Never let a caller-set scratch leak through: one scratch shared by
+      // several workers would be a data race (SessionScratch serves one
+      // resolution at a time); each worker uses its own or none.
+      ropts.scratch = options.reuse_allocations ? &scratch : nullptr;
       auto rr_or = Resolve(se, &oracle, ropts);
       if (rr_or.ok()) results[i] = std::move(rr_or).value();
     }
@@ -94,13 +122,7 @@ ExperimentResult RunExperiment(const Dataset& ds,
     }
   }
 
-  out.pct_true_by_round.resize(n_rounds);
-  for (int k = 0; k < n_rounds; ++k) {
-    const AccuracyCounts& c = out.accuracy_by_round[k];
-    out.pct_true_by_round[k] =
-        c.conflicts == 0 ? 0.0
-                         : static_cast<double>(c.deduced) / c.conflicts;
-  }
+  RecomputePctTrueByRound(&out);
   return out;
 }
 

@@ -31,6 +31,12 @@ struct ExperimentOptions {
   /// so every thread count produces bit-identical ExperimentResults
   /// (timings aside).
   int num_threads = 1;
+  /// Cross-entity pooling: each worker thread keeps a SessionScratch so
+  /// entity N+1's session recycles entity N's warm solver/CNF allocations
+  /// instead of building them from cold. Results are bit-identical either
+  /// way (Solver::Reset restores the exact fresh state); the flag exists
+  /// for the bench_throughput A/B and regression tests.
+  bool reuse_allocations = true;
   ResolveOptions resolve;
 };
 
@@ -58,6 +64,21 @@ struct ExperimentResult {
 ExperimentResult RunExperiment(const Dataset& ds,
                                const ExperimentOptions& options,
                                const std::vector<int>& entity_indices = {});
+
+/// Recomputes `r->pct_true_by_round` from `r->accuracy_by_round` (the
+/// Fig. 8(e)/(i)/(m) y-axis: deduced / conflicts, 0 when nothing
+/// conflicts). The single definition shared by RunExperiment and the
+/// shard merge (eval/result_io.h) — byte-identity across processes
+/// depends on both computing the ratio identically.
+void RecomputePctTrueByRound(ExperimentResult* r);
+
+/// Entity indices belonging to shard `shard` of `num_shards`: every index
+/// i in [0, num_entities) with i % num_shards == shard. The shards
+/// partition the corpus, and because AccuracyCounts pool losslessly,
+/// merging the per-shard ExperimentResults (MergeExperimentResults in
+/// eval/result_io.h) reproduces the unsharded run exactly — the unit of
+/// scale-out for the multi-process driver (tools/ccr_experiment).
+std::vector<int> ShardIndices(int num_entities, int shard, int num_shards);
 
 /// Pick baseline accuracy over the same entities.
 AccuracyCounts RunPick(const Dataset& ds, uint64_t seed = 99,

@@ -1,0 +1,376 @@
+#include "src/eval/result_io.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+
+namespace ccr {
+
+namespace {
+
+// --- writer ----------------------------------------------------------------
+
+// %.17g survives a double -> text -> double round trip exactly, and equal
+// doubles format to equal bytes — both load-bearing for the shard/merge
+// byte-identity check.
+void AppendDouble(double v, std::string* out) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+void AppendInt(int v, std::string* out) {
+  out->append(std::to_string(v));
+}
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent) : indent_(indent) {}
+
+  std::string Take() && { return std::move(out_); }
+
+  void BeginObject() {
+    out_.push_back('{');
+    ++depth_;
+    first_ = true;
+  }
+  void EndObject() {
+    --depth_;
+    Newline();
+    out_.push_back('}');
+    first_ = false;
+  }
+  void Key(const char* name) {
+    if (!first_) out_.push_back(',');
+    Newline();
+    out_.push_back('"');
+    out_.append(name);
+    out_.append("\": ");
+    first_ = true;  // the value is the first token after the key
+  }
+  void Value(int v) {
+    AppendInt(v, &out_);
+    first_ = false;
+  }
+  void Value(double v) {
+    AppendDouble(v, &out_);
+    first_ = false;
+  }
+  void Value(const char* v) {
+    out_.push_back('"');
+    out_.append(v);
+    out_.push_back('"');
+    first_ = false;
+  }
+  /// Arrays are emitted inline (one line per element for objects is the
+  /// caller's concern; scalars stay compact).
+  void BeginArray() {
+    out_.push_back('[');
+    first_ = false;
+  }
+  void ArraySep(bool first) {
+    if (!first) out_.append(", ");
+  }
+  void EndArray() { out_.push_back(']'); }
+
+ private:
+  void Newline() {
+    if (indent_ <= 0) return;
+    out_.push_back('\n');
+    out_.append(static_cast<size_t>(indent_ * depth_), ' ');
+  }
+
+  std::string out_;
+  int indent_;
+  int depth_ = 0;
+  bool first_ = true;
+};
+
+// --- parser ----------------------------------------------------------------
+
+// Minimal recursive-descent JSON reader, specialized to what the schema
+// needs: objects, arrays, numbers, strings, bools. Field handlers are
+// driven off the key so any field order parses; unknown keys are errors.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Status Fail(const std::string& what) {
+    return Status::InvalidArgument("ExperimentResult JSON: " + what +
+                                   " near offset " + std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_.size();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') return Fail("escape sequences unsupported");
+      out->push_back(text_[pos_++]);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return Status::OK();
+  }
+
+  Status ParseDouble(double* out) {
+    SkipWs();
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    auto [ptr, ec] = std::from_chars(begin, end, *out);
+    if (ec != std::errc()) return Fail("expected number");
+    pos_ += static_cast<size_t>(ptr - begin);
+    return Status::OK();
+  }
+
+  Status ParseInt(int* out) {
+    double v = 0;
+    CCR_RETURN_NOT_OK(ParseDouble(&v));
+    // Range-check before the cast: double -> int of an out-of-range value
+    // is UB, so the guard must run on the double.
+    if (v < static_cast<double>(std::numeric_limits<int>::min()) ||
+        v > static_cast<double>(std::numeric_limits<int>::max()) ||
+        v != std::trunc(v)) {
+      return Fail("expected integer");
+    }
+    *out = static_cast<int>(v);
+    return Status::OK();
+  }
+
+  /// Parses `{ "k": ..., ... }`, calling `field(key)` for each value; the
+  /// callback must consume the value.
+  template <typename FieldFn>
+  Status ParseObject(FieldFn field) {
+    if (!Consume('{')) return Fail("expected '{'");
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      std::string key;
+      CCR_RETURN_NOT_OK(ParseString(&key));
+      if (!Consume(':')) return Fail("expected ':'");
+      CCR_RETURN_NOT_OK(field(key));
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  /// Parses `[ ... ]`, calling `element()` once per element.
+  template <typename ElementFn>
+  Status ParseArray(ElementFn element) {
+    if (!Consume('[')) return Fail("expected '['");
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      CCR_RETURN_NOT_OK(element());
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+constexpr char kSchemaName[] = "ccr.experiment_result";
+
+}  // namespace
+
+std::string ExperimentResultToJson(const ExperimentResult& r,
+                                   const ResultJsonOptions& options) {
+  JsonWriter w(options.indent);
+  const bool t = options.include_timings;
+  w.BeginObject();
+  w.Key("schema");
+  w.Value(kSchemaName);
+  w.Key("schema_version");
+  w.Value(kExperimentResultSchemaVersion);
+  w.Key("entities");
+  w.Value(r.entities);
+  w.Key("invalid_entities");
+  w.Value(r.invalid_entities);
+  w.Key("max_rounds_used");
+  w.Value(r.max_rounds_used);
+  w.Key("accuracy_by_round");
+  w.BeginArray();
+  for (size_t k = 0; k < r.accuracy_by_round.size(); ++k) {
+    w.ArraySep(k == 0);
+    const AccuracyCounts& c = r.accuracy_by_round[k];
+    w.BeginObject();
+    w.Key("deduced");
+    w.Value(c.deduced);
+    w.Key("correct");
+    w.Value(c.correct);
+    w.Key("conflicts");
+    w.Value(c.conflicts);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("pct_true_by_round");
+  w.BeginArray();
+  for (size_t k = 0; k < r.pct_true_by_round.size(); ++k) {
+    w.ArraySep(k == 0);
+    w.Value(r.pct_true_by_round[k]);
+  }
+  w.EndArray();
+  w.Key("timings_ms");
+  w.BeginObject();
+  w.Key("encode");
+  w.Value(t ? r.encode_ms : 0.0);
+  w.Key("validity");
+  w.Value(t ? r.validity_ms : 0.0);
+  w.Key("deduce");
+  w.Value(t ? r.deduce_ms : 0.0);
+  w.Key("suggest");
+  w.Value(t ? r.suggest_ms : 0.0);
+  w.EndObject();
+  w.EndObject();
+  std::string out = std::move(w).Take();
+  out.push_back('\n');
+  return out;
+}
+
+Result<ExperimentResult> ExperimentResultFromJson(std::string_view json) {
+  JsonReader rd(json);
+  ExperimentResult out;
+  std::string schema;
+  int version = -1;
+
+  // Duplicate keys at any level are rejected uniformly: a last-one-wins
+  // scalar is as much silent corruption as a doubled round array.
+  std::set<std::string> seen;
+  std::set<std::string> seen_timing;
+  Status st = rd.ParseObject([&](const std::string& key) -> Status {
+    if (!seen.insert(key).second) {
+      return rd.Fail("duplicate field '" + key + "'");
+    }
+    if (key == "schema") return rd.ParseString(&schema);
+    if (key == "schema_version") return rd.ParseInt(&version);
+    if (key == "entities") return rd.ParseInt(&out.entities);
+    if (key == "invalid_entities") return rd.ParseInt(&out.invalid_entities);
+    if (key == "max_rounds_used") return rd.ParseInt(&out.max_rounds_used);
+    if (key == "accuracy_by_round") {
+      return rd.ParseArray([&]() -> Status {
+        AccuracyCounts c;
+        std::set<std::string> seen_count;
+        CCR_RETURN_NOT_OK(rd.ParseObject([&](const std::string& f) -> Status {
+          if (!seen_count.insert(f).second) {
+            return rd.Fail("duplicate accuracy field '" + f + "'");
+          }
+          if (f == "deduced") return rd.ParseInt(&c.deduced);
+          if (f == "correct") return rd.ParseInt(&c.correct);
+          if (f == "conflicts") return rd.ParseInt(&c.conflicts);
+          return rd.Fail("unknown accuracy field '" + f + "'");
+        }));
+        out.accuracy_by_round.push_back(c);
+        return Status::OK();
+      });
+    }
+    if (key == "pct_true_by_round") {
+      return rd.ParseArray([&]() -> Status {
+        double v = 0;
+        CCR_RETURN_NOT_OK(rd.ParseDouble(&v));
+        out.pct_true_by_round.push_back(v);
+        return Status::OK();
+      });
+    }
+    if (key == "timings_ms") {
+      return rd.ParseObject([&](const std::string& f) -> Status {
+        if (!seen_timing.insert(f).second) {
+          return rd.Fail("duplicate timing field '" + f + "'");
+        }
+        if (f == "encode") return rd.ParseDouble(&out.encode_ms);
+        if (f == "validity") return rd.ParseDouble(&out.validity_ms);
+        if (f == "deduce") return rd.ParseDouble(&out.deduce_ms);
+        if (f == "suggest") return rd.ParseDouble(&out.suggest_ms);
+        return rd.Fail("unknown timing field '" + f + "'");
+      });
+    }
+    return rd.Fail("unknown field '" + key + "'");
+  });
+  CCR_RETURN_NOT_OK(st);
+  if (!rd.AtEnd()) return rd.Fail("trailing content");
+  // Strictness cuts both ways: a missing field is as much schema drift as
+  // an unknown one (a trimmed file would otherwise pool zeros silently).
+  for (const char* required :
+       {"schema", "schema_version", "entities", "invalid_entities",
+        "max_rounds_used", "accuracy_by_round", "pct_true_by_round",
+        "timings_ms"}) {
+    if (seen.count(required) == 0) {
+      return Status::InvalidArgument(
+          std::string("ExperimentResult JSON: missing field '") + required +
+          "'");
+    }
+  }
+  if (schema != kSchemaName) {
+    return Status::InvalidArgument("ExperimentResult JSON: schema is '" +
+                                   schema + "', want '" + kSchemaName + "'");
+  }
+  if (version != kExperimentResultSchemaVersion) {
+    return Status::InvalidArgument(
+        "ExperimentResult JSON: schema_version " + std::to_string(version) +
+        " unsupported (have " +
+        std::to_string(kExperimentResultSchemaVersion) + ")");
+  }
+  return out;
+}
+
+Result<ExperimentResult> MergeExperimentResults(
+    const std::vector<ExperimentResult>& parts) {
+  if (parts.empty()) {
+    return Status::InvalidArgument("MergeExperimentResults: no inputs");
+  }
+  size_t n_rounds = 0;
+  for (const ExperimentResult& p : parts) {
+    n_rounds = std::max(n_rounds, p.accuracy_by_round.size());
+  }
+  ExperimentResult out;
+  out.accuracy_by_round.assign(n_rounds, AccuracyCounts{});
+  for (const ExperimentResult& p : parts) {
+    out.entities += p.entities;
+    out.invalid_entities += p.invalid_entities;
+    out.max_rounds_used = std::max(out.max_rounds_used, p.max_rounds_used);
+    out.encode_ms += p.encode_ms;
+    out.validity_ms += p.validity_ms;
+    out.deduce_ms += p.deduce_ms;
+    out.suggest_ms += p.suggest_ms;
+    if (p.accuracy_by_round.empty()) continue;
+    const size_t last = p.accuracy_by_round.size() - 1;
+    for (size_t k = 0; k < n_rounds; ++k) {
+      // Round-length alignment: past a part's last round its final state
+      // carries forward, exactly as RunExperiment carries a finished
+      // entity's state through the remaining rounds.
+      out.accuracy_by_round[k].Add(p.accuracy_by_round[std::min(k, last)]);
+    }
+  }
+  // Derived ratios come from the pooled counts — the single definition
+  // RunExperiment also uses — never from averaging the parts' ratios.
+  RecomputePctTrueByRound(&out);
+  return out;
+}
+
+}  // namespace ccr

@@ -61,6 +61,16 @@ class Cnf {
   /// small) for diagnostics.
   std::string ToString() const;
 
+  /// Removes every variable and clause but keeps the literal pool's and
+  /// offset table's capacity, so a recycled formula (SessionScratch) can
+  /// be refilled without re-growing its buffers from cold.
+  void Clear() {
+    num_vars_ = 0;
+    pool_.clear();
+    starts_.clear();
+    starts_.push_back(0);
+  }
+
  private:
   int num_vars_ = 0;
   std::vector<Lit> pool_;

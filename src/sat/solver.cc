@@ -18,10 +18,42 @@ Var Solver::NewVar() {
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
-  watches_.emplace_back();  // 2 watch lists per var
-  watches_.emplace_back();
+  // 2 watch lists per var; after a Reset the lists (already cleared) are
+  // still there and keep their buffers.
+  while (watches_.size() < 2 * static_cast<size_t>(v) + 2) {
+    watches_.emplace_back();
+  }
   HeapInsert(v);
   return v;
+}
+
+void Solver::Reset(SolverOptions options) {
+  options_ = options;
+  stats_ = {};
+  last_call_ = {};
+  ok_ = true;
+  arena_.clear();
+  clauses_.clear();
+  learnts_.clear();
+  // Keep the outer vector (and each inner list's buffer); NewVar re-adopts
+  // the lists as the variable universe regrows.
+  for (std::vector<Watcher>& ws : watches_) ws.clear();
+  assigns_.clear();
+  polarity_.clear();
+  level_.clear();
+  reason_.clear();
+  trail_.clear();
+  trail_lim_.clear();
+  qhead_ = 0;
+  activity_.clear();
+  var_inc_ = 1.0;
+  clause_inc_ = 1.0;
+  heap_.clear();
+  heap_pos_.clear();
+  seen_.clear();
+  model_.clear();
+  conflict_core_.clear();
+  max_learnts_ = 0;
 }
 
 Solver::ClauseRef Solver::AllocClause(const std::vector<Lit>& lits,
@@ -284,7 +316,8 @@ void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* out_core) {
 
 void Solver::CancelUntil(int target) {
   if (DecisionLevel() <= target) return;
-  for (size_t i = trail_.size(); i-- > static_cast<size_t>(trail_lim_[target]);) {
+  const size_t keep = static_cast<size_t>(trail_lim_[target]);
+  for (size_t i = trail_.size(); i-- > keep;) {
     const Var v = trail_[i].var();
     assigns_[v] = Lbool::kUndef;
     if (options_.use_phase_saving) polarity_[v] = trail_[i].negated();

@@ -112,6 +112,15 @@ class Solver {
   /// True if unsatisfiability was established independent of assumptions.
   bool IsUnsatForever() const { return !ok_; }
 
+  /// Restores the solver to its freshly-constructed state — no variables,
+  /// no clauses, zeroed statistics, `options` applied — while keeping the
+  /// heap allocations (clause arena, watch lists, trail, per-variable
+  /// arrays) it has grown so far. A Reset solver is observably identical
+  /// to `Solver(options)`: same decisions, same models, same statistics on
+  /// the same input. SessionScratch uses it to recycle one solver across
+  /// back-to-back ResolutionSessions without re-allocating from cold.
+  void Reset(SolverOptions options = {});
+
  private:
   // --- clause arena ----------------------------------------------------
   using ClauseRef = uint32_t;

@@ -49,6 +49,25 @@ void ExpectThreadCountInvariance(const Dataset& ds) {
   }
 }
 
+TEST(ExperimentThreadsTest, AllocationPoolingDoesNotChangeResults) {
+  // Cross-entity solver pooling (per-worker SessionScratch) must be
+  // invisible in the results at any thread count.
+  PersonOptions popts;
+  popts.num_entities = 12;
+  popts.max_tuples = 32;
+  const Dataset ds = GeneratePerson(popts);
+
+  ExperimentOptions opts;
+  opts.max_rounds = 2;
+  opts.reuse_allocations = false;
+  const ExperimentResult cold = RunExperiment(ds, opts);
+  for (int threads : {1, 4}) {
+    opts.num_threads = threads;
+    opts.reuse_allocations = true;
+    ExpectSameExperiment(cold, RunExperiment(ds, opts), threads);
+  }
+}
+
 TEST(ExperimentThreadsTest, NbaDeterministicAcrossThreadCounts) {
   NbaOptions opts;
   opts.num_entities = 24;

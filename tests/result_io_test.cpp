@@ -1,0 +1,269 @@
+// Tests for the scale-out result layer (src/eval/result_io.h): JSON
+// round-trips are lossless, the shard merge is associative and
+// order-independent, and pooling per-shard results reproduces the
+// unsharded ExperimentResult field-for-field (byte-for-byte with timings
+// excluded) — the contract scripts/shard.sh relies on across processes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/data/nba_generator.h"
+#include "src/data/person_generator.h"
+#include "src/eval/experiment.h"
+#include "src/eval/result_io.h"
+
+namespace ccr {
+namespace {
+
+Dataset SmallPersonCorpus(int entities = 12) {
+  PersonOptions opts;
+  opts.num_entities = entities;
+  opts.min_tuples = 4;
+  opts.max_tuples = 24;
+  opts.seed = 2024;
+  return GeneratePerson(opts);
+}
+
+ExperimentOptions SmallRunOptions() {
+  ExperimentOptions opts;
+  opts.max_rounds = 2;
+  opts.answers_per_round = 1;
+  return opts;
+}
+
+void ExpectSameResult(const ExperimentResult& a, const ExperimentResult& b,
+                      bool compare_timings) {
+  EXPECT_EQ(a.entities, b.entities);
+  EXPECT_EQ(a.invalid_entities, b.invalid_entities);
+  EXPECT_EQ(a.max_rounds_used, b.max_rounds_used);
+  ASSERT_EQ(a.accuracy_by_round.size(), b.accuracy_by_round.size());
+  for (size_t k = 0; k < a.accuracy_by_round.size(); ++k) {
+    EXPECT_EQ(a.accuracy_by_round[k].deduced, b.accuracy_by_round[k].deduced)
+        << "round " << k;
+    EXPECT_EQ(a.accuracy_by_round[k].correct, b.accuracy_by_round[k].correct)
+        << "round " << k;
+    EXPECT_EQ(a.accuracy_by_round[k].conflicts,
+              b.accuracy_by_round[k].conflicts)
+        << "round " << k;
+  }
+  ASSERT_EQ(a.pct_true_by_round.size(), b.pct_true_by_round.size());
+  for (size_t k = 0; k < a.pct_true_by_round.size(); ++k) {
+    // Exact double equality: merged ratios are recomputed from pooled
+    // integer counts with the same expression RunExperiment uses.
+    EXPECT_EQ(a.pct_true_by_round[k], b.pct_true_by_round[k])
+        << "round " << k;
+  }
+  if (compare_timings) {
+    EXPECT_EQ(a.encode_ms, b.encode_ms);
+    EXPECT_EQ(a.validity_ms, b.validity_ms);
+    EXPECT_EQ(a.deduce_ms, b.deduce_ms);
+    EXPECT_EQ(a.suggest_ms, b.suggest_ms);
+  }
+}
+
+TEST(ResultIoTest, JsonRoundTripIsLossless) {
+  const Dataset ds = SmallPersonCorpus();
+  const ExperimentResult r = RunExperiment(ds, SmallRunOptions());
+  ASSERT_GT(r.entities, 0);
+  ASSERT_FALSE(r.accuracy_by_round.empty());
+
+  const std::string json = ExperimentResultToJson(r);
+  auto back = ExperimentResultFromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameResult(r, *back, /*compare_timings=*/true);
+
+  // Serialization is a pure function of the result: re-serializing the
+  // parsed copy reproduces the bytes.
+  EXPECT_EQ(json, ExperimentResultToJson(*back));
+}
+
+TEST(ResultIoTest, CompactFormRoundTrips) {
+  const Dataset ds = SmallPersonCorpus(4);
+  const ExperimentResult r = RunExperiment(ds, SmallRunOptions());
+  ResultJsonOptions jopts;
+  jopts.indent = 0;
+  const std::string json = ExperimentResultToJson(r, jopts);
+  EXPECT_EQ(json.find('\n'), json.size() - 1);  // single line + newline
+  auto back = ExperimentResultFromJson(json);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectSameResult(r, *back, /*compare_timings=*/true);
+}
+
+TEST(ResultIoTest, NoTimingsSerializesZeros) {
+  const Dataset ds = SmallPersonCorpus(4);
+  const ExperimentResult r = RunExperiment(ds, SmallRunOptions());
+  ASSERT_GT(r.encode_ms + r.validity_ms + r.deduce_ms + r.suggest_ms, 0.0);
+  ResultJsonOptions jopts;
+  jopts.include_timings = false;
+  auto back = ExperimentResultFromJson(ExperimentResultToJson(r, jopts));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->encode_ms, 0.0);
+  EXPECT_EQ(back->validity_ms, 0.0);
+  EXPECT_EQ(back->deduce_ms, 0.0);
+  EXPECT_EQ(back->suggest_ms, 0.0);
+  ExpectSameResult(r, *back, /*compare_timings=*/false);
+}
+
+TEST(ResultIoTest, FourShardMergeEqualsUnshardedRun) {
+  const Dataset ds = SmallPersonCorpus(13);  // not divisible by 4
+  const ExperimentOptions opts = SmallRunOptions();
+  const ExperimentResult whole = RunExperiment(ds, opts);
+
+  const int n = static_cast<int>(ds.entities.size());
+  std::vector<ExperimentResult> shards;
+  int pooled_entities = 0;
+  for (int k = 0; k < 4; ++k) {
+    const std::vector<int> indices = ShardIndices(n, k, 4);
+    EXPECT_FALSE(indices.empty());
+    shards.push_back(RunExperiment(ds, opts, indices));
+    pooled_entities += shards.back().entities;
+  }
+  EXPECT_EQ(pooled_entities, whole.entities);
+
+  auto merged = MergeExperimentResults(shards);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ExpectSameResult(whole, *merged, /*compare_timings=*/false);
+
+  // The cross-process contract: identical bytes once timings are excluded,
+  // even after each shard result takes a JSON round trip (as it does when
+  // shards run in separate processes and ship files).
+  std::vector<ExperimentResult> reloaded;
+  for (const ExperimentResult& s : shards) {
+    auto back = ExperimentResultFromJson(ExperimentResultToJson(s));
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    reloaded.push_back(std::move(back).value());
+  }
+  auto remerged = MergeExperimentResults(reloaded);
+  ASSERT_TRUE(remerged.ok()) << remerged.status().ToString();
+  ResultJsonOptions jopts;
+  jopts.include_timings = false;
+  EXPECT_EQ(ExperimentResultToJson(*remerged, jopts),
+            ExperimentResultToJson(whole, jopts));
+}
+
+TEST(ResultIoTest, MergeIsAssociativeAndOrderIndependent) {
+  const Dataset ds = SmallPersonCorpus(9);
+  const ExperimentOptions opts = SmallRunOptions();
+  const int n = static_cast<int>(ds.entities.size());
+  std::vector<ExperimentResult> parts;
+  for (int k = 0; k < 3; ++k) {
+    parts.push_back(RunExperiment(ds, opts, ShardIndices(n, k, 3)));
+  }
+
+  auto flat = MergeExperimentResults({parts[0], parts[1], parts[2]});
+  ASSERT_TRUE(flat.ok());
+
+  // ((0 + 1) + 2) — merge of a merge.
+  auto left = MergeExperimentResults({parts[0], parts[1]});
+  ASSERT_TRUE(left.ok());
+  auto nested = MergeExperimentResults({*left, parts[2]});
+  ASSERT_TRUE(nested.ok());
+  ExpectSameResult(*flat, *nested, /*compare_timings=*/true);
+
+  // Reversed input order.
+  auto reversed = MergeExperimentResults({parts[2], parts[1], parts[0]});
+  ASSERT_TRUE(reversed.ok());
+  ExpectSameResult(*flat, *reversed, /*compare_timings=*/false);
+}
+
+TEST(ResultIoTest, MergeAlignsDifferingRoundCounts) {
+  ExperimentResult one_round;
+  one_round.entities = 1;
+  one_round.accuracy_by_round = {{4, 3, 10}};  // deduced, correct, conflicts
+  one_round.pct_true_by_round = {0.4};
+
+  ExperimentResult three_rounds;
+  three_rounds.entities = 2;
+  three_rounds.max_rounds_used = 2;
+  three_rounds.accuracy_by_round = {{2, 2, 6}, {4, 4, 6}, {6, 6, 6}};
+  three_rounds.pct_true_by_round = {2.0 / 6, 4.0 / 6, 1.0};
+
+  auto merged = MergeExperimentResults({one_round, three_rounds});
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->accuracy_by_round.size(), 3u);
+  // The short part's final state carries forward into rounds it never ran,
+  // mirroring RunExperiment's per-entity carry-forward.
+  EXPECT_EQ(merged->accuracy_by_round[0].deduced, 6);
+  EXPECT_EQ(merged->accuracy_by_round[1].deduced, 8);
+  EXPECT_EQ(merged->accuracy_by_round[2].deduced, 10);
+  EXPECT_EQ(merged->accuracy_by_round[2].conflicts, 16);
+  EXPECT_EQ(merged->entities, 3);
+  EXPECT_EQ(merged->max_rounds_used, 2);
+  EXPECT_EQ(merged->pct_true_by_round[2], 10.0 / 16.0);
+}
+
+TEST(ResultIoTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ExperimentResultFromJson("").ok());
+  EXPECT_FALSE(ExperimentResultFromJson("{").ok());
+  EXPECT_FALSE(ExperimentResultFromJson("[]").ok());
+  EXPECT_FALSE(ExperimentResultFromJson("{\"schema\": 3}").ok());
+
+  // Unknown fields are schema drift, not noise.
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"ccr.experiment_result\", "
+                   "\"schema_version\": 1, \"surprise\": 1}")
+                   .ok());
+
+  // Wrong schema name / unsupported version.
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"other\", \"schema_version\": 1}")
+                   .ok());
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"ccr.experiment_result\", "
+                   "\"schema_version\": 999}")
+                   .ok());
+
+  // Trailing garbage after a valid document.
+  const ExperimentResult empty;
+  std::string json = ExperimentResultToJson(empty);
+  json += "{}";
+  EXPECT_FALSE(ExperimentResultFromJson(json).ok());
+
+  // Out-of-int-range and fractional counts.
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"ccr.experiment_result\", "
+                   "\"schema_version\": 1, \"entities\": 1e20}")
+                   .ok());
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"ccr.experiment_result\", "
+                   "\"schema_version\": 1, \"entities\": 1.5}")
+                   .ok());
+
+  // Duplicate keys: a doubled round array would append, a repeated scalar
+  // would silently last-one-win — both are rejected.
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"ccr.experiment_result\", "
+                   "\"schema_version\": 1, "
+                   "\"pct_true_by_round\": [0.5], "
+                   "\"pct_true_by_round\": [0.5]}")
+                   .ok());
+  EXPECT_FALSE(ExperimentResultFromJson(
+                   "{\"schema\": \"ccr.experiment_result\", "
+                   "\"schema_version\": 1, "
+                   "\"entities\": 24, \"entities\": 0}")
+                   .ok());
+}
+
+TEST(ResultIoTest, MergeOfNothingFails) {
+  EXPECT_FALSE(MergeExperimentResults({}).ok());
+}
+
+TEST(ResultIoTest, ShardIndicesPartitionTheCorpus) {
+  std::vector<bool> seen(13, false);
+  for (int k = 0; k < 4; ++k) {
+    for (int i : ShardIndices(13, k, 4)) {
+      EXPECT_FALSE(seen[i]) << "index " << i << " in two shards";
+      seen[i] = true;
+      EXPECT_EQ(i % 4, k);
+    }
+  }
+  for (int i = 0; i < 13; ++i) EXPECT_TRUE(seen[i]) << "index " << i;
+  EXPECT_TRUE(ShardIndices(10, 5, 4).empty());   // shard out of range
+  EXPECT_TRUE(ShardIndices(10, 0, 0).empty());   // no shards
+  EXPECT_TRUE(ShardIndices(10, -1, 4).empty());  // negative shard
+}
+
+}  // namespace
+}  // namespace ccr

@@ -343,5 +343,51 @@ TEST(SolverTest, ConflictBudgetReturnsUnknown) {
   EXPECT_EQ(s.Solve(), SolveResult::kUnknown);
 }
 
+TEST(SolverTest, ResetIsObservablyAFreshSolver) {
+  // One long-lived solver Reset between formulas must be bit-compatible
+  // with a brand-new solver on every formula: same answers, same models,
+  // same search statistics. This is what lets SessionScratch recycle a
+  // solver across entities without changing any result.
+  Rng rng(0xBEEF);
+  Solver recycled;
+  for (int round = 0; round < 60; ++round) {
+    const int n_vars = 3 + static_cast<int>(rng.Below(10));
+    const int n_clauses = 2 + static_cast<int>(rng.Below(50));
+    Cnf cnf;
+    cnf.EnsureVars(n_vars);
+    for (int c = 0; c < n_clauses; ++c) {
+      const int len = 1 + static_cast<int>(rng.Below(3));
+      std::vector<Lit> clause;
+      for (int k = 0; k < len; ++k) {
+        clause.push_back(
+            Lit(static_cast<Var>(rng.Below(n_vars)), rng.Chance(0.5)));
+      }
+      cnf.AddClause(std::span<const Lit>(clause.data(), clause.size()));
+    }
+
+    recycled.Reset();
+    EXPECT_EQ(recycled.num_vars(), 0) << "round " << round;
+    recycled.AddCnf(cnf);
+    Solver fresh;
+    fresh.AddCnf(cnf);
+
+    const SolveResult got_recycled = recycled.Solve();
+    const SolveResult got_fresh = fresh.Solve();
+    ASSERT_EQ(got_recycled, got_fresh) << "round " << round;
+    EXPECT_EQ(recycled.stats().conflicts, fresh.stats().conflicts)
+        << "round " << round;
+    EXPECT_EQ(recycled.stats().decisions, fresh.stats().decisions)
+        << "round " << round;
+    EXPECT_EQ(recycled.stats().propagations, fresh.stats().propagations)
+        << "round " << round;
+    if (got_recycled == SolveResult::kSat) {
+      for (Var v = 0; v < cnf.num_vars(); ++v) {
+        EXPECT_EQ(recycled.ModelLbool(v), fresh.ModelLbool(v))
+            << "round " << round << " var " << v;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ccr::sat

@@ -283,6 +283,68 @@ TEST(ResolutionSessionTest, NaiveDeduceSharesSessionSolver) {
   EXPECT_EQ(od_shared.CountPairs(), od_fresh.CountPairs());
 }
 
+TEST(SessionScratchTest, ScratchBackedResolveMatchesOwnedAllocations) {
+  // Cross-entity pooling: resolving a stream of entities through ONE
+  // scratch must give bit-identical results to scratch-free sessions —
+  // Solver::Reset restores the exact fresh state, only the allocations
+  // stay warm.
+  PersonOptions opts;
+  opts.num_entities = 8;
+  opts.min_tuples = 8;
+  opts.max_tuples = 48;
+  const Dataset ds = GeneratePerson(opts);
+
+  SessionScratch scratch;
+  for (size_t e = 0; e < ds.entities.size(); ++e) {
+    ResolveOptions pooled_opts;
+    pooled_opts.max_rounds = 3;
+    pooled_opts.scratch = &scratch;
+    ResolveOptions owned_opts = pooled_opts;
+    owned_opts.scratch = nullptr;
+
+    TruthOracle pooled_oracle(ds.entities[e].truth, /*answers_per_round=*/1);
+    TruthOracle owned_oracle(ds.entities[e].truth, /*answers_per_round=*/1);
+    auto pooled = Resolve(ds.MakeSpec(static_cast<int>(e)), &pooled_oracle,
+                          pooled_opts);
+    auto owned = Resolve(ds.MakeSpec(static_cast<int>(e)), &owned_oracle,
+                         owned_opts);
+    ASSERT_EQ(pooled.ok(), owned.ok());
+    if (!pooled.ok()) continue;
+    ExpectSameResult(*pooled, *owned,
+                     "scratch entity " + std::to_string(e));
+  }
+  // Entity 2..N reused entity 1's solver instead of allocating.
+  EXPECT_GE(scratch.solver_reuses(),
+            static_cast<int64_t>(ds.entities.size()) - 1);
+}
+
+TEST(SessionScratchTest, RebuildPathRecyclesScratchObjects) {
+  // The rebuild fallback (new value in a grounded CFD's LHS) must also
+  // recycle the scratch's solver/CNF rather than allocating fresh ones,
+  // and stay correct afterwards.
+  ResolveOptions opts;
+  SessionScratch scratch;
+  opts.scratch = &scratch;
+  auto session = ResolutionSession::Create(CfdSpec(), opts);
+  ASSERT_TRUE(session.ok());
+  EXPECT_TRUE(session->CheckValidity().valid);
+
+  PartialTemporalOrder ot;
+  ot.new_tuples.push_back(Tuple({Value::Str("a3"), Value::Null()}));
+  ot.orders.emplace_back(0, 0, 2);
+  ot.orders.emplace_back(0, 1, 2);
+  ASSERT_TRUE(session->ExtendWith(ot).ok());
+  EXPECT_EQ(session->rebuilds(), 1);
+  EXPECT_EQ(scratch.solver_reuses(), 1);  // the rebuild recycled, not alloc'd
+  EXPECT_TRUE(session->CheckValidity().valid);
+
+  auto direct = Extend(CfdSpec(), ot);
+  ASSERT_TRUE(direct.ok());
+  auto fresh = Instantiation::Build(*direct);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(session->cnf().num_clauses(), BuildCnf(*fresh).num_clauses());
+}
+
 TEST(ResolutionSessionTest, ValidityConflictsArePerCallDelta) {
   auto session = ResolutionSession::Create(GeorgeSpec());
   ASSERT_TRUE(session.ok());
