@@ -11,6 +11,12 @@
 //     the summed encode+validity time of rounds >= 1 (the rounds where
 //     the session appends instead of rebuilding) and checks the two
 //     engines resolve identically.
+//   * "suggest_incremental": same corpus and runs, but comparing the
+//     summed Suggest-phase time of rounds >= 1 — the session runs GetSug
+//     as assumption-based incremental MaxSAT on its persistent solver
+//     (no Φ(Se) copy, no fresh solver), the legacy engine re-loads Φ(Se)
+//     into a throwaway solver every round. Also reports the session's
+//     total rebuild count, which selector-guarded CFDs pin at zero.
 //   * "thread_scaling": RunExperiment entities/sec at 1 and N threads
 //     (N = CCR_BENCH_THREADS, default 8) over the same corpus, plus a
 //     determinism check of the pooled accuracy vectors.
@@ -108,6 +114,10 @@ int main() {
 
   double session_ms = 0;     // rounds >= 1, encode + validity
   double legacy_ms = 0;
+  double session_suggest_ms = 0;  // rounds >= 1, Suggest phase
+  double legacy_suggest_ms = 0;
+  int64_t session_rebuilds = 0;
+  int64_t session_assumption_solves = 0;
   int max_oracle_rounds = 0;
   int min_tuples = 1 << 30;
   int resolve_errors = 0;  // entities skipped (not an equivalence verdict)
@@ -130,13 +140,23 @@ int main() {
     identical = identical && SameResolution(*rs, *rl);
     max_oracle_rounds = std::max(max_oracle_rounds, rs->rounds_used);
     for (const RoundTrace& t : rs->trace) {
-      if (t.round >= 1) session_ms += t.encode_ms + t.validity_ms;
+      if (t.round >= 1) {
+        session_ms += t.encode_ms + t.validity_ms;
+        session_suggest_ms += t.suggest_ms;
+      }
+      session_rebuilds += t.num_rebuilds;
+      session_assumption_solves += t.num_assumption_solves;
     }
     for (const RoundTrace& t : rl->trace) {
-      if (t.round >= 1) legacy_ms += t.encode_ms + t.validity_ms;
+      if (t.round >= 1) {
+        legacy_ms += t.encode_ms + t.validity_ms;
+        legacy_suggest_ms += t.suggest_ms;
+      }
     }
   }
   const double inc_speedup = session_ms > 0 ? legacy_ms / session_ms : 0.0;
+  const double suggest_speedup =
+      session_suggest_ms > 0 ? legacy_suggest_ms / session_suggest_ms : 0.0;
 
   // --- batch driver thread scaling ---------------------------------------
   const int n_threads = BenchThreads();
@@ -191,6 +211,21 @@ int main() {
               legacy_ms);
   std::printf("    \"speedup\": %.3f,\n", inc_speedup);
   std::printf("    \"resolve_errors\": %d,\n", resolve_errors);
+  std::printf("    \"identical_results\": %s\n", identical ? "true" : "false");
+  std::printf("  },\n");
+  std::printf("  \"suggest_incremental\": {\n");
+  std::printf("    \"entities\": %d,\n",
+              static_cast<int>(inc_ds.entities.size()));
+  std::printf("    \"min_tuples_per_entity\": %d,\n", min_tuples);
+  std::printf("    \"session_round1plus_suggest_ms\": %.3f,\n",
+              session_suggest_ms);
+  std::printf("    \"legacy_round1plus_suggest_ms\": %.3f,\n",
+              legacy_suggest_ms);
+  std::printf("    \"speedup\": %.3f,\n", suggest_speedup);
+  std::printf("    \"session_rebuilds\": %lld,\n",
+              static_cast<long long>(session_rebuilds));
+  std::printf("    \"session_assumption_solves\": %lld,\n",
+              static_cast<long long>(session_assumption_solves));
   std::printf("    \"identical_results\": %s\n", identical ? "true" : "false");
   std::printf("  },\n");
   std::printf("  \"thread_scaling\": {\n");

@@ -7,7 +7,11 @@
 #   * the session/legacy incremental speedup fell below a generous floor
 #     (CCR_BENCH_SPEEDUP_FLOOR, default 1.5 — the full-size run measures
 #     ~20x, so tripping the floor means the incremental path regressed
-#     catastrophically, not that the runner was noisy).
+#     catastrophically, not that the runner was noisy), or
+#   * the incremental-MaxSAT Suggest path reported non-identical results,
+#     performed any session rebuild (selector-guarded CFDs pin this at 0),
+#     or fell below its own speedup floor (CCR_BENCH_SUGGEST_FLOOR,
+#     default 1.3 — the full-size run measures >= 2x).
 #
 # The JSON lands in BENCH_throughput.json (CI uploads it as an artifact —
 # the repo's perf trajectory across PRs).
@@ -22,22 +26,28 @@ export CCR_BENCH_SCALE="${CCR_BENCH_SCALE:-1}"
 export CCR_BENCH_TUPLES="${CCR_BENCH_TUPLES:-250}"
 export CCR_BENCH_THREADS="${CCR_BENCH_THREADS:-2}"
 FLOOR="${CCR_BENCH_SPEEDUP_FLOOR:-1.5}"
+SUGGEST_FLOOR="${CCR_BENCH_SUGGEST_FLOOR:-1.3}"
 
 scripts/bench.sh "${1:-build-bench}"
 
 echo
-echo "Gating BENCH_throughput.json (incremental speedup floor: ${FLOOR}x)"
-jq -e --argjson floor "$FLOOR" '
+echo "Gating BENCH_throughput.json (incremental floor: ${FLOOR}x," \
+     "suggest floor: ${SUGGEST_FLOOR}x)"
+jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" '
   (.incremental.identical_results == true)
   and (.incremental.resolve_errors == 0)
+  and (.suggest_incremental.identical_results == true)
+  and (.suggest_incremental.session_rebuilds == 0)
   and (.thread_scaling.deterministic == true)
   and (.allocation_pooling.deterministic == true)
   and (.incremental.speedup >= $floor)
+  and (.suggest_incremental.speedup >= $sfloor)
 ' BENCH_throughput.json >/dev/null || {
   echo "FAIL: bench smoke gate tripped; BENCH_throughput.json:" >&2
   cat BENCH_throughput.json >&2
   exit 1
 }
 echo "OK: incremental speedup $(jq .incremental.speedup BENCH_throughput.json)x," \
+     "suggest speedup $(jq .suggest_incremental.speedup BENCH_throughput.json)x," \
      "pooling speedup $(jq .allocation_pooling.speedup BENCH_throughput.json)x," \
      "all equivalence checks true"

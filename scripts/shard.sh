@@ -7,6 +7,12 @@
 # to a single-process run over the same corpus — the property that makes
 # multi-machine sharding a matter of scp'ing JSON files.
 #
+# Every run uses ccr_experiment's default engine — the persistent-solver
+# session engine (incremental MaxSAT Suggest, selector-guarded CFDs). As a
+# second exactness gate, the single-process corpus is also resolved with
+# --engine legacy (re-encode every round) and must serialize to the same
+# bytes: the two engines are interchangeable, shard by shard.
+#
 # Usage: scripts/shard.sh [N] [build-dir]
 # Environment:
 #   CCR_SHARD_FLAGS  extra ccr_experiment run flags applied to shards and
@@ -54,5 +60,16 @@ if cmp "$WORK_DIR/merged.json" "$WORK_DIR/single.json"; then
 else
   echo "FAIL: merged result differs from the single-process run" >&2
   diff "$WORK_DIR/merged.json" "$WORK_DIR/single.json" >&2 || true
+  exit 1
+fi
+
+echo "Cross-engine exactness: session (default) vs --engine legacy..."
+"$BIN" "${FLAGS[@]}" --engine legacy --no-timings \
+  --out "$WORK_DIR/legacy.json"
+if cmp "$WORK_DIR/legacy.json" "$WORK_DIR/single.json"; then
+  echo "OK: legacy engine run is byte-identical to the session engine run"
+else
+  echo "FAIL: legacy engine result differs from the session engine" >&2
+  diff "$WORK_DIR/legacy.json" "$WORK_DIR/single.json" >&2 || true
   exit 1
 fi

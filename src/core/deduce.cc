@@ -25,10 +25,12 @@ DeducedOrders MakeEmptyOrders(const VarMap& vm) {
 
 // Records a deduced literal into Od. Positive x_{a1 a2} adds a1 ≺ a2;
 // negative adds the reversed order when `paper_mode` is on (Fig. 5,
-// lines 6–7). Insertion failures (cycles, possible only on invalid
+// lines 6–7). Auxiliary variables (CFD guards) carry no order content and
+// are skipped. Insertion failures (cycles, possible only on invalid
 // specifications) are ignored — Od remains a partial order.
 void RecordLiteral(const VarMap& vm, sat::Lit lit, bool paper_mode,
                    DeducedOrders* od) {
+  if (!vm.IsOrderVar(lit.var())) return;
   const OrderAtom atom = vm.Decode(lit.var());
   if (!lit.negated()) {
     (void)od->per_attr[atom.attr].Add(atom.less, atom.more);
@@ -40,7 +42,8 @@ void RecordLiteral(const VarMap& vm, sat::Lit lit, bool paper_mode,
 }  // namespace
 
 DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
-                          const DeduceOptions& options) {
+                          const DeduceOptions& options,
+                          std::span<const sat::Lit> assume) {
   const VarMap& vm = inst.varmap;
   DeducedOrders od = MakeEmptyOrders(vm);
 
@@ -53,7 +56,7 @@ DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
   std::vector<uint8_t> satisfied(n_clauses, 0);
   std::vector<std::vector<int32_t>> occur(2 * n_vars);
   std::vector<sat::Lbool> value(n_vars, sat::Lbool::kUndef);
-  std::vector<sat::Lit> queue;
+  std::vector<sat::Lit> queue(assume.begin(), assume.end());
 
   for (int c = 0; c < n_clauses; ++c) {
     auto lits = phi.clause(c);
@@ -75,7 +78,7 @@ DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
     // Totality: ¬(a1 ≺ a2) entails a2 ≺ a1 in every completion; assert
     // the reversed atom so contrapositive chains keep propagating.
     if (l.negated() && options.paper_negative_units &&
-        options.totality_propagation) {
+        options.totality_propagation && vm.IsOrderVar(l.var())) {
       const OrderAtom atom = vm.Decode(l.var());
       queue.push_back(
           sat::Lit::Pos(vm.VarOf(atom.attr, atom.more, atom.less)));
@@ -109,11 +112,15 @@ DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
 }
 
 DeducedOrders NaiveDeduceShared(const Instantiation& inst,
-                                sat::Solver* solver) {
+                                sat::Solver* solver,
+                                std::span<const sat::Lit> assumptions) {
   const VarMap& vm = inst.varmap;
   DeducedOrders od = MakeEmptyOrders(vm);
 
-  if (solver->Solve() != sat::SolveResult::kSat) return od;  // invalid Se
+  std::vector<sat::Lit> assume(assumptions.begin(), assumptions.end());
+  if (solver->SolveWithAssumptions(assume) != sat::SolveResult::kSat) {
+    return od;  // invalid Se
+  }
 
   for (int a = 0; a < vm.num_attrs(); ++a) {
     const int d = static_cast<int>(vm.domain(a).size());
@@ -123,8 +130,9 @@ DeducedOrders NaiveDeduceShared(const Instantiation& inst,
         if (od.per_attr[a].Less(i, j)) continue;  // already implied
         const sat::Var x = vm.VarOf(a, i, j);
         // Lemma 6: Se |= (i ≺ j) iff Φ(Se) ∧ ¬x is unsatisfiable.
-        const auto r =
-            solver->SolveWithAssumptions({sat::Lit::Neg(x)});
+        assume.push_back(sat::Lit::Neg(x));
+        const auto r = solver->SolveWithAssumptions(assume);
+        assume.pop_back();
         if (r == sat::SolveResult::kUnsat && !solver->IsUnsatForever()) {
           (void)od.per_attr[a].Add(i, j);
         }

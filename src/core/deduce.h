@@ -10,6 +10,7 @@
 #ifndef CCR_CORE_DEDUCE_H_
 #define CCR_CORE_DEDUCE_H_
 
+#include <span>
 #include <vector>
 
 #include "src/encode/instantiation.h"
@@ -47,8 +48,13 @@ struct DeduceOptions {
 
 /// Algorithm DeduceOrder (Fig. 5): unit propagation over `phi`.
 /// `phi` must be the CNF built from `inst` (variable ids must agree).
+/// `assume` literals are seeded as established facts before propagation —
+/// the guarded session passes its active CFD guards, which re-arms the
+/// guarded rule clauses exactly as if they were emitted unguarded.
+/// Non-atom (auxiliary) variables propagate but are never recorded in Od.
 DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
-                          const DeduceOptions& options = {});
+                          const DeduceOptions& options = {},
+                          std::span<const sat::Lit> assume = {});
 
 /// NaiveDeduce: one SAT call per order variable (incremental solver with
 /// one assumption per call). Exact per Lemma 6.
@@ -57,10 +63,12 @@ DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
 
 /// NaiveDeduce against a caller-owned solver already holding Φ(Se)'s
 /// clauses (the ResolutionSession shares one solver across validity,
-/// deduction and rounds; learnt clauses carry over). The outcome of each
-/// implication check is semantic — identical to the fresh-solver variant.
+/// deduction and rounds; learnt clauses carry over). `assumptions` is
+/// prepended to every implication check (active CFD guards). The outcome
+/// of each check is semantic — identical to the fresh-solver variant.
 DeducedOrders NaiveDeduceShared(const Instantiation& inst,
-                                sat::Solver* solver);
+                                sat::Solver* solver,
+                                std::span<const sat::Lit> assumptions = {});
 
 /// True-value extraction (§V-B): value v is the true value of attribute A
 /// iff it dominates every other domain value of A in Od. Returns one

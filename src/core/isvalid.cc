@@ -9,11 +9,13 @@ ValidityResult IsValidCnf(const sat::Cnf& phi,
   return IsValidShared(&solver, phi);
 }
 
-ValidityResult IsValidShared(sat::Solver* solver, const sat::Cnf& phi) {
+ValidityResult IsValidShared(sat::Solver* solver, const sat::Cnf& phi,
+                             std::span<const sat::Lit> assumptions) {
   ValidityResult result;
   result.num_vars = phi.num_vars();
   result.num_clauses = phi.num_clauses();
-  result.valid = solver->Solve() == sat::SolveResult::kSat;
+  result.valid =
+      solver->SolveWithAssumptions(assumptions) == sat::SolveResult::kSat;
   result.solver_conflicts = solver->last_call_stats().conflicts;
   return result;
 }

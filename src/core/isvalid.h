@@ -7,6 +7,8 @@
 #ifndef CCR_CORE_ISVALID_H_
 #define CCR_CORE_ISVALID_H_
 
+#include <span>
+
 #include "src/constraints/specification.h"
 #include "src/encode/cnf_builder.h"
 #include "src/encode/instantiation.h"
@@ -31,9 +33,12 @@ ValidityResult IsValidCnf(const sat::Cnf& phi,
 
 /// Validity via a caller-owned solver that already holds Φ(Se)'s clauses
 /// (the ResolutionSession path — one solver across phases and rounds).
+/// `assumptions` conditions the check (the session passes its active CFD
+/// guard literals; a guarded clause binds only under its guard).
 /// `solver_conflicts` reports this call's delta, not the cumulative count,
 /// so per-phase attribution survives solver sharing.
-ValidityResult IsValidShared(sat::Solver* solver, const sat::Cnf& phi);
+ValidityResult IsValidShared(sat::Solver* solver, const sat::Cnf& phi,
+                             std::span<const sat::Lit> assumptions = {});
 
 /// One-shot convenience: grounds `se`, builds Φ(Se) and checks it.
 Result<ValidityResult> IsValid(const Specification& se,

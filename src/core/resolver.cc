@@ -42,6 +42,12 @@ class Engine {
       const std::vector<std::vector<int>>& candidates,
       const std::vector<int>& known_true) = 0;
   virtual Status Extend(const PartialTemporalOrder& ot) = 0;
+
+  /// Cumulative counters for the RoundTrace (Resolve reports per-round
+  /// deltas): full re-encodes performed and assumption-carrying solves
+  /// answered so far.
+  virtual int64_t Rebuilds() const = 0;
+  virtual int64_t AssumptionSolves() const = 0;
 };
 
 // Legacy engine: re-grounds Ω(Se), rebuilds Φ(Se) and constructs fresh
@@ -57,6 +63,7 @@ class RebuildEngine : public Engine {
     CCR_ASSIGN_OR_RETURN(inst_, Instantiation::Build(spec_));
     cnf_ = BuildCnf(inst_);
     *encode_ms = timer.ElapsedMs();
+    ++rebuilds_;
     return Status::OK();
   }
 
@@ -83,11 +90,15 @@ class RebuildEngine : public Engine {
     return Status::OK();
   }
 
+  int64_t Rebuilds() const override { return rebuilds_; }
+  int64_t AssumptionSolves() const override { return 0; }
+
  private:
   ResolveOptions options_;
   Specification spec_;
   Instantiation inst_;
   sat::Cnf cnf_;
+  int64_t rebuilds_ = 0;
 };
 
 // Session engine: one ResolutionSession across all rounds.
@@ -128,6 +139,13 @@ class SessionEngine : public Engine {
     return session_->ExtendWith(ot);
   }
 
+  int64_t Rebuilds() const override {
+    return session_.has_value() ? session_->rebuilds() : 0;
+  }
+  int64_t AssumptionSolves() const override {
+    return session_.has_value() ? session_->assumption_solves() : 0;
+  }
+
  private:
   ResolveOptions options_;
   Specification spec0_;
@@ -151,6 +169,19 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
     engine = std::make_unique<RebuildEngine>(se, options);
   }
 
+  // Per-round deltas of the engine's cumulative rebuild/assumption
+  // counters, stamped into each RoundTrace right before it is recorded.
+  int64_t prev_rebuilds = 0;
+  int64_t prev_assumption_solves = 0;
+  auto stamp_counters = [&](RoundTrace* t) {
+    const int64_t rebuilds = engine->Rebuilds();
+    const int64_t assumption_solves = engine->AssumptionSolves();
+    t->num_rebuilds = rebuilds - prev_rebuilds;
+    t->num_assumption_solves = assumption_solves - prev_assumption_solves;
+    prev_rebuilds = rebuilds;
+    prev_assumption_solves = assumption_solves;
+  };
+
   for (int round = 0; round <= options.max_rounds; ++round) {
     RoundTrace trace;
     trace.round = round;
@@ -166,6 +197,7 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
       // constraints): report and stop. The framework's "No" branch sends
       // users back to revise; a programmatic oracle cannot, so we stop.
       if (round == 0) result.valid = false;
+      stamp_counters(&trace);
       result.trace.push_back(trace);
       break;
     }
@@ -193,10 +225,12 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
     // Step (3): done when every resolvable attribute has a true value.
     if (resolved_count >= CountResolvableAttrs(inst.varmap)) {
       result.complete = true;
+      stamp_counters(&trace);
       result.trace.push_back(trace);
       break;
     }
     if (oracle == nullptr || round == options.max_rounds) {
+      stamp_counters(&trace);
       result.trace.push_back(trace);
       break;
     }
@@ -208,6 +242,7 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
     const Suggestion suggestion =
         engine->MakeSuggestion(candidates, true_idx);
     trace.suggest_ms = timer.ElapsedMs();
+    stamp_counters(&trace);
     result.trace.push_back(trace);
 
     const std::vector<UserOracle::Answer> answers =

@@ -76,6 +76,14 @@ struct RoundTrace {
   double validity_ms = 0;
   double deduce_ms = 0;
   double suggest_ms = 0;
+  /// Full re-encodes this round performed. The session engine's guarded
+  /// grounding makes this 0 on every round by construction; the legacy
+  /// engine reports 1 per round (it rebuilds by design).
+  int64_t num_rebuilds = 0;
+  /// Assumption-carrying solver calls this round (validity under CFD
+  /// guards, NaiveDeduce implication checks, incremental-MaxSAT steps).
+  /// 0 for the legacy engine, whose throwaway solvers are not traced.
+  int64_t num_assumption_solves = 0;
 };
 
 /// Final state of a resolution run.

@@ -6,6 +6,19 @@
 
 namespace ccr {
 
+namespace {
+
+// Session grounding runs guarded: CFD rule bodies carry per-version
+// selector variables, which is what lets ExtendWith stay append-only on
+// every delta (see InstantiationOptions::guard_cfds).
+InstantiationOptions SessionGroundingOptions() {
+  InstantiationOptions opts;
+  opts.guard_cfds = true;
+  return opts;
+}
+
+}  // namespace
+
 sat::Solver* SessionScratch::AcquireSolver(const sat::SolverOptions& options) {
   if (solver_ == nullptr) {
     solver_ = std::make_unique<sat::Solver>(options);
@@ -25,20 +38,26 @@ sat::Cnf* SessionScratch::AcquireCnf() {
   return cnf_.get();
 }
 
-void ResolutionSession::AdoptSolverAndCnf() {
+Instantiation* SessionScratch::AcquireInstantiation() {
+  // No clearing needed here: BuildInto clears in place, recycling the
+  // projection tables and hash buckets the previous session grew.
+  if (inst_ == nullptr) inst_ = std::make_unique<Instantiation>();
+  return inst_.get();
+}
+
+void ResolutionSession::AdoptScratchObjects() {
   if (options_.scratch != nullptr) {
+    inst_ = options_.scratch->AcquireInstantiation();
     cnf_ = options_.scratch->AcquireCnf();
     solver_ = options_.scratch->AcquireSolver(options_.solver);
+    owned_inst_.reset();
     owned_cnf_.reset();
     owned_solver_.reset();
-  } else if (owned_solver_ != nullptr) {
-    // Rebuild within a scratch-free session: recycle our own objects the
-    // same way a scratch would.
-    cnf_->Clear();
-    solver_->Reset(options_.solver);
   } else {
+    owned_inst_ = std::make_unique<Instantiation>();
     owned_cnf_ = std::make_unique<sat::Cnf>();
     owned_solver_ = std::make_unique<sat::Solver>(options_.solver);
+    inst_ = owned_inst_.get();
     cnf_ = owned_cnf_.get();
     solver_ = owned_solver_.get();
   }
@@ -50,9 +69,10 @@ Result<ResolutionSession> ResolutionSession::Create(
   s.options_ = options;
   s.spec_ = se;
   Timer timer;
-  CCR_ASSIGN_OR_RETURN(s.inst_, Instantiation::Build(s.spec_));
-  s.AdoptSolverAndCnf();
-  BuildCnfInto(s.inst_, s.cnf_);
+  s.AdoptScratchObjects();
+  CCR_RETURN_NOT_OK(
+      Instantiation::BuildInto(s.spec_, s.inst_, SessionGroundingOptions()));
+  BuildCnfInto(*s.inst_, s.cnf_);
   s.FeedSolver();
   s.last_encode_ms_ = timer.ElapsedMs();
   return s;
@@ -64,42 +84,47 @@ void ResolutionSession::FeedSolver() {
 }
 
 ValidityResult ResolutionSession::CheckValidity() {
-  return IsValidShared(solver_, *cnf_);
+  return IsValidShared(solver_, *cnf_, inst_->guard_assumptions());
 }
 
 DeducedOrders ResolutionSession::Deduce() {
-  return options_.naive_deduce ? NaiveDeduceShared(inst_, solver_)
-                               : DeduceOrder(inst_, *cnf_, options_.deduce);
+  return options_.naive_deduce
+             ? NaiveDeduceShared(*inst_, solver_, inst_->guard_assumptions())
+             : DeduceOrder(*inst_, *cnf_, options_.deduce,
+                           inst_->guard_assumptions());
 }
 
 Suggestion ResolutionSession::MakeSuggestion(
     const std::vector<std::vector<int>>& candidates,
     const std::vector<int>& known_true) {
-  return Suggest(inst_, *cnf_, candidates, known_true, options_.suggest);
+  return SuggestOnSolver(*inst_, solver_, inst_->guard_assumptions(),
+                         candidates, known_true, options_.suggest);
 }
 
 Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
   CCR_ASSIGN_OR_RETURN(Specification next, Extend(spec_, ot));
   Timer timer;
-  CCR_ASSIGN_OR_RETURN(InstantiationDelta delta, inst_.ExtendWith(next, ot));
-  if (delta.needs_rebuild) {
-    // The delta strengthens already-emitted CFD bodies; append-only
-    // encoding cannot express that, so re-encode from scratch (recycling
-    // the buffers we already grew).
-    CCR_ASSIGN_OR_RETURN(inst_, Instantiation::Build(next));
-    AdoptSolverAndCnf();
-    BuildCnfInto(inst_, cnf_);
-    fed_clauses_ = 0;
-    FeedSolver();
-    ++rebuilds_;
-  } else {
-    ExtendCnf(inst_, delta, cnf_);
-    FeedSolver();
-    // New clauses may have asserted fresh top-level facts; fold them in
-    // and drop clauses they satisfy before the next phase solves.
-    solver_->Simplify();
-    ++incremental_extensions_;
+  // GetSug's released scopes allocated selector/cardinality variables
+  // directly on the persistent solver; advance the VarMap's allocator past
+  // them so this round's atom and guard variables get ids the solver has
+  // not already bound. (The burnt ids stay frozen aux variables.)
+  while (inst_->varmap.num_vars() < solver_->num_vars()) {
+    inst_->varmap.NewAuxVar();
   }
+  cnf_->EnsureVars(inst_->varmap.num_vars());
+  CCR_ASSIGN_OR_RETURN(
+      InstantiationDelta delta,
+      inst_->ExtendWith(next, ot, SessionGroundingOptions()));
+  // Guarded grounding expresses every delta append-only — the LHS-growth
+  // case retires guards instead of demanding a rebuild.
+  CCR_CHECK(!delta.needs_rebuild);
+  ExtendCnf(*inst_, delta, cnf_);
+  FeedSolver();
+  // New clauses (and retired-guard units) may have asserted fresh
+  // top-level facts; fold them in and drop clauses they satisfy before
+  // the next phase solves.
+  solver_->Simplify();
+  ++incremental_extensions_;
   last_encode_ms_ = timer.ElapsedMs();
   spec_ = std::move(next);
   return Status::OK();

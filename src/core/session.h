@@ -1,23 +1,28 @@
 // ResolutionSession: one specification's lifetime across the framework
-// pipeline of Fig. 4 — encode once, solve many.
+// pipeline of Fig. 4 — encode once, solve many, one solver for everything.
 //
 // The framework loops validity → deduction → suggestion over the *same*
 // specification, growing it by a small user delta Ot each round. A session
 // therefore owns the three artifacts that survive rounds:
 //   * Ω(Se): the instantiation, extended in place (ExtendWith grounds only
-//     the delta's tuples/orders and appends);
+//     the delta's tuples/orders and appends). CFD rule bodies are guarded
+//     by per-(CFD, LHS-pattern) selector variables, so even the one
+//     non-append-only delta — a new value in an applicable CFD's LHS
+//     attribute — extends incrementally: the stale version's guard is
+//     asserted off and re-grounded guarded rules are appended. Sessions
+//     never rebuild.
 //   * Φ(Se): the CNF, extended append-only (ExtendCnf);
 //   * one incremental CDCL solver holding Φ's clauses plus everything it
-//     learnt — validity and NaiveDeduce share it via assumptions, and a
-//     top-level Simplify pass runs after each extension.
-// When a delta cannot be grounded append-only (a new value lands in the
-// LHS attribute of an already-grounded CFD), the session transparently
-// rebuilds all three from scratch — the legacy cost, paid only in the rare
-// case instead of every round.
+//     learnt. Every phase queries it under assumptions: validity and
+//     NaiveDeduce assume the active CFD guards, and GetSug runs
+//     assumption-based incremental MaxSAT whose per-round selector and
+//     cardinality variables live in a released ScopedVars scope — nothing
+//     a round introduces constrains the next. A top-level Simplify pass
+//     after each extension sweeps clauses deactivated by retired guards.
 //
 // Resolve() drives a session internally; the class is public so batch
 // drivers and benches can observe per-round encode costs and the
-// incremental/rebuild split.
+// assumption/rebuild counters.
 
 #ifndef CCR_CORE_SESSION_H_
 #define CCR_CORE_SESSION_H_
@@ -32,15 +37,16 @@
 
 namespace ccr {
 
-/// \brief Reusable solver/CNF allocations shared by back-to-back sessions
-/// on one worker thread (cross-entity pooling).
+/// \brief Reusable solver/CNF/instantiation allocations shared by
+/// back-to-back sessions on one worker thread (cross-entity pooling).
 ///
 /// A batch driver resolves thousands of entities per thread, and every
-/// session used to grow its solver's clause arena, watch lists and the CNF
-/// literal pool from cold. A scratch keeps those buffers alive between
-/// sessions: Acquire* hands out the same objects semantically reset to
-/// their freshly-constructed state (Solver::Reset, Cnf::Clear), so entity
-/// N+1 reuses entity N's warm allocations while every result stays
+/// session used to grow its solver's clause arena, watch lists, the CNF
+/// literal pool and the grounding's projection tables from cold. A scratch
+/// keeps those buffers alive between sessions: Acquire* hands out the same
+/// objects semantically reset to their freshly-constructed state
+/// (Solver::Reset, Cnf::Clear, Instantiation::BuildInto), so entity N+1
+/// reuses entity N's warm allocations while every result stays
 /// bit-identical to a scratch-free run.
 ///
 /// A scratch serves ONE live session at a time and must outlive it. Not
@@ -54,12 +60,17 @@ class SessionScratch {
   /// An empty CNF, recycled with its pool capacity intact.
   sat::Cnf* AcquireCnf();
 
+  /// An Instantiation arena for BuildInto: projection tables, hash-table
+  /// buckets and the constraint vector stay warm across entities.
+  Instantiation* AcquireInstantiation();
+
   /// Acquire calls that recycled a warm object instead of allocating.
   int64_t solver_reuses() const { return solver_reuses_; }
 
  private:
   std::unique_ptr<sat::Solver> solver_;
   std::unique_ptr<sat::Cnf> cnf_;
+  std::unique_ptr<Instantiation> inst_;
   int64_t solver_reuses_ = 0;
 };
 
@@ -77,40 +88,51 @@ class ResolutionSession {
   DeducedOrders Deduce();
 
   /// Step (4a): suggestion from the deduced state (`candidates` from
-  /// CandidateValues, `known_true` from ExtractTrueValueIndices).
+  /// CandidateValues, `known_true` from ExtractTrueValueIndices). Runs
+  /// GetSug as incremental MaxSAT on the session solver.
   Suggestion MakeSuggestion(const std::vector<std::vector<int>>& candidates,
                             const std::vector<int>& known_true);
 
-  /// Step (4b): Se ← Se ⊕ Ot. Takes the incremental path when the delta
-  /// grounds append-only, otherwise rebuilds instantiation/CNF/solver.
+  /// Step (4b): Se ← Se ⊕ Ot. Always extends incrementally — CFD guards
+  /// absorb the one formerly non-append-only delta.
   Status ExtendWith(const PartialTemporalOrder& ot);
 
   const Specification& spec() const { return spec_; }
-  const Instantiation& instantiation() const { return inst_; }
+  const Instantiation& instantiation() const { return *inst_; }
   const sat::Cnf& cnf() const { return *cnf_; }
 
   /// Wall time the last Create/ExtendWith spent grounding + encoding (ms).
   double last_encode_ms() const { return last_encode_ms_; }
-  /// How many ExtendWith calls appended vs. fell back to a full rebuild.
+  /// ExtendWith calls (every one of them appends; kept alongside
+  /// `rebuilds` for the A/B counters in RoundTrace).
   int incremental_extensions() const { return incremental_extensions_; }
+  /// Full re-encodes this session performed. Guarded grounding makes this
+  /// 0 by construction; the counter exists so tests and traces can assert
+  /// exactly that.
   int rebuilds() const { return rebuilds_; }
+  /// Assumption-carrying solves answered by the session solver so far
+  /// (validity under guards, NaiveDeduce checks, MaxSAT search steps).
+  int64_t assumption_solves() const {
+    return solver_->stats().assumption_solves;
+  }
 
  private:
   ResolutionSession() = default;
 
-  /// Points solver_/cnf_ at fresh objects: the scratch's recycled ones
-  /// when options_.scratch is set, privately owned ones otherwise. Both
-  /// targets are heap-stable, so moving the session keeps them valid.
-  void AdoptSolverAndCnf();
+  /// Points solver_/cnf_/inst_ at fresh objects: the scratch's recycled
+  /// ones when options_.scratch is set, privately owned ones otherwise.
+  /// All targets are heap-stable, so moving the session keeps them valid.
+  void AdoptScratchObjects();
 
   /// Feeds the solver the cnf_ suffix it has not seen yet.
   void FeedSolver();
 
   ResolveOptions options_;
   Specification spec_;
-  Instantiation inst_;
+  std::unique_ptr<Instantiation> owned_inst_;  // null when scratch-backed
   std::unique_ptr<sat::Cnf> owned_cnf_;        // null when scratch-backed
   std::unique_ptr<sat::Solver> owned_solver_;  // null when scratch-backed
+  Instantiation* inst_ = nullptr;
   sat::Cnf* cnf_ = nullptr;
   sat::Solver* solver_ = nullptr;
   int fed_clauses_ = 0;  // prefix of cnf_ already in the solver

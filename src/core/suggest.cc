@@ -1,6 +1,7 @@
 #include "src/core/suggest.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/graph/clique.h"
 
@@ -27,10 +28,18 @@ std::string Suggestion::ToString(const VarMap& vm,
   return out;
 }
 
-Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
-                   const std::vector<std::vector<int>>& candidates,
-                   const std::vector<int>& known_true,
-                   const SuggestOptions& options) {
+namespace {
+
+// Shared Suggest implementation. `solver` already holds Φ(Se) (session
+// path) or is null with `phi` supplied for lazy one-shot loading — the
+// formula is only fed to a solver once a non-empty clique makes a GetSug
+// MaxSAT call necessary at all.
+Suggestion SuggestImpl(const Instantiation& inst, sat::Solver* solver,
+                       const sat::Cnf* phi,
+                       std::span<const sat::Lit> assumptions,
+                       const std::vector<std::vector<int>>& candidates,
+                       const std::vector<int>& known_true,
+                       const SuggestOptions& options) {
   const VarMap& vm = inst.varmap;
   Suggestion out;
 
@@ -43,37 +52,47 @@ Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
                                       : graph::GreedyClique(g);
 
   // GetSug: find the maximal conflict-free subset C' of the clique via
-  // MaxSAT. Each rule gets a selector implying that its premises and
-  // consequent hold as most-current values; softs maximize kept rules.
+  // MaxSAT. Each rule gets a scoped selector implying that its premises
+  // and consequent hold as most-current values; softs maximize kept
+  // rules. The scope dies with this call — later rounds on the same
+  // solver never see these selectors or clauses.
   std::vector<int> kept;  // indices into `rules`
   if (!clique.empty()) {
-    sat::Cnf hard = phi;
+    std::optional<sat::Solver> local;
+    if (solver == nullptr) {
+      local.emplace(options.solver);
+      local->AddCnf(*phi);
+      solver = &*local;
+    }
+    sat::ScopedVars scope(solver);
+    std::vector<sat::Lit> base(assumptions.begin(), assumptions.end());
+    base.push_back(scope.activation());
     std::vector<std::vector<sat::Lit>> softs;
-    std::vector<sat::Var> selectors;
     for (int node : clique) {
       const DerivationRule& rule = rules[node];
-      const sat::Var sel = hard.NewVar();
-      selectors.push_back(sel);
+      const sat::Var sel = scope.NewVar();
       auto assert_dominates = [&](int attr, int value_idx) {
         const int d = static_cast<int>(vm.domain(attr).size());
         for (int other = 0; other < d; ++other) {
           if (other == value_idx) continue;
-          hard.AddBinary(sat::Lit::Neg(sel),
-                         sat::Lit::Pos(vm.VarOf(attr, other, value_idx)));
+          scope.AddClause(
+              {sat::Lit::Neg(sel),
+               sat::Lit::Pos(vm.VarOf(attr, other, value_idx))});
         }
       };
       for (const auto& [attr, v] : rule.lhs) assert_dominates(attr, v);
       assert_dominates(rule.rhs_attr, rule.rhs_value);
       softs.push_back({sat::Lit::Pos(sel)});
     }
-    const maxsat::MaxSatResult ms =
-        maxsat::SolveMaxSat(hard, softs, options.solver);
+    maxsat::IncrementalMaxSat max_sat(solver);
+    const maxsat::MaxSatResult ms = max_sat.Solve(softs, base);
     if (ms.hard_satisfiable) {
+      // The MaxSAT result covers every soft positionally — anything less
+      // would silently drop kept rules from the tail of the clique.
+      CCR_CHECK(ms.soft_satisfied.size() == clique.size());
       for (size_t i = 0; i < clique.size(); ++i) {
-        // A soft is "kept" when its selector is on in the optimal model.
-        if (i < ms.soft_satisfied.size() && ms.soft_satisfied[i]) {
-          kept.push_back(clique[i]);
-        }
+        // A soft is "kept" when it holds in the canonical optimum.
+        if (ms.soft_satisfied[i]) kept.push_back(clique[i]);
       }
     }
   }
@@ -108,6 +127,25 @@ Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
     }
   }
   return out;
+}
+
+}  // namespace
+
+Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
+                   const std::vector<std::vector<int>>& candidates,
+                   const std::vector<int>& known_true,
+                   const SuggestOptions& options) {
+  return SuggestImpl(inst, /*solver=*/nullptr, &phi, {}, candidates,
+                     known_true, options);
+}
+
+Suggestion SuggestOnSolver(const Instantiation& inst, sat::Solver* solver,
+                           std::span<const sat::Lit> assumptions,
+                           const std::vector<std::vector<int>>& candidates,
+                           const std::vector<int>& known_true,
+                           const SuggestOptions& options) {
+  return SuggestImpl(inst, solver, /*phi=*/nullptr, assumptions, candidates,
+                     known_true, options);
 }
 
 }  // namespace ccr

@@ -9,6 +9,7 @@
 #ifndef CCR_CORE_SUGGEST_H_
 #define CCR_CORE_SUGGEST_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,10 +44,26 @@ struct SuggestOptions {
 
 /// Computes a suggestion for `se` from its encoding and deduced state.
 /// `known_true` is the per-attribute true value index (-1 if unknown).
+/// One-shot form: loads Φ(Se) into a fresh solver (no CNF copy) and runs
+/// the shared implementation below.
 Suggestion Suggest(const Instantiation& inst, const sat::Cnf& phi,
                    const std::vector<std::vector<int>>& candidates,
                    const std::vector<int>& known_true,
                    const SuggestOptions& options = {});
+
+/// Suggest against a caller-owned solver that already holds Φ(Se)'s
+/// clauses — the ResolutionSession path. GetSug's per-round rule
+/// selectors live in a ScopedVars scope and the conflict-check runs as
+/// assumption-based incremental MaxSAT on `solver`; nothing is copied and
+/// nothing the call introduces survives it. `assumptions` conditions
+/// every query (the session's active CFD guards). The kept-rule set is
+/// canonical (see IncrementalMaxSat), so this and the one-shot form agree
+/// bit-for-bit on equal specifications.
+Suggestion SuggestOnSolver(const Instantiation& inst, sat::Solver* solver,
+                           std::span<const sat::Lit> assumptions,
+                           const std::vector<std::vector<int>>& candidates,
+                           const std::vector<int>& known_true,
+                           const SuggestOptions& options = {});
 
 }  // namespace ccr
 

@@ -6,10 +6,16 @@ namespace ccr {
 
 namespace {
 
-// Appends the clause for one ground constraint.
+// Appends the clause for one ground constraint. A guarded constraint
+// (CFD rules under guarded grounding) is emitted as (¬guard ∨ clause):
+// it binds only while its guard is assumed true, and retiring the guard
+// (unit ¬guard) permanently deactivates it without retracting anything.
 void AddConstraintClause(const VarMap& vm, const GroundConstraint& gc,
                          std::vector<sat::Lit>* scratch, sat::Cnf* cnf) {
   scratch->clear();
+  if (gc.guard != sat::kVarUndef) {
+    scratch->push_back(sat::Lit::Neg(gc.guard));
+  }
   for (const OrderAtom& atom : gc.body) {
     scratch->push_back(sat::Lit::Neg(vm.VarOf(atom)));
   }
@@ -71,6 +77,13 @@ void ExtendCnf(const Instantiation& inst, const InstantiationDelta& delta,
                sat::Cnf* cnf, const CnfBuildOptions& options) {
   const VarMap& vm = inst.varmap;
   cnf->EnsureVars(vm.num_vars());
+
+  // Retired CFD guards first: each unit permanently satisfies every clause
+  // of the invalidated rule version, before the re-grounded replacements
+  // (guarded by fresh selectors) are appended below.
+  for (sat::Var g : delta.retired_guards) {
+    cnf->AddUnit(sat::Lit::Neg(g));
+  }
 
   // Clauses for the freshly grounded constraints.
   std::vector<sat::Lit> clause;

@@ -34,11 +34,12 @@ void BuildCnfInto(const Instantiation& inst, sat::Cnf* cnf,
                   const CnfBuildOptions& options = {});
 
 /// Appends to `cnf` exactly the clauses Φ(Se ⊕ Ot) gains from an
-/// Instantiation::ExtendWith call: one clause per new ground constraint,
-/// plus the asymmetry/transitivity axioms for atom pairs/triples that
-/// touch a newly added domain value. `cnf` must be the formula previously
-/// built (and possibly already extended) from `inst`; `options` must match
-/// across all calls.
+/// Instantiation::ExtendWith call: one unit per retired CFD guard
+/// (guarded grounding — deactivates the stale rule version), one clause
+/// per new ground constraint, plus the asymmetry/transitivity axioms for
+/// atom pairs/triples that touch a newly added domain value. `cnf` must be
+/// the formula previously built (and possibly already extended) from
+/// `inst`; `options` must match across all calls.
 void ExtendCnf(const Instantiation& inst, const InstantiationDelta& delta,
                sat::Cnf* cnf, const CnfBuildOptions& options = {});
 

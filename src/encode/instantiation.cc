@@ -144,6 +144,7 @@ void Instantiation::GroundCfd(int gi, const Specification& se, int first_b) {
     gc.body = body;
     gc.head_kind = GroundHead::kAtom;
     gc.head = OrderAtom{rb, b, rhs_idx};
+    gc.guard = guarded_ ? cfd_guard_[gi] : sat::kVarUndef;
     constraints.push_back(std::move(gc));
   }
 }
@@ -151,7 +152,26 @@ void Instantiation::GroundCfd(int gi, const Specification& se, int first_b) {
 Result<Instantiation> Instantiation::Build(
     const Specification& se, const InstantiationOptions& options) {
   Instantiation inst;
-  inst.varmap = VarMap::Build(se);
+  CCR_RETURN_NOT_OK(BuildInto(se, &inst, options));
+  return inst;
+}
+
+Status Instantiation::BuildInto(const Specification& se, Instantiation* out,
+                                const InstantiationOptions& options) {
+  Instantiation& inst = *out;
+  // Clear-in-place so a recycled Instantiation refills into the buffers it
+  // already grew (constraint vector, projection tables and their hash
+  // buckets, the unit-dedup set).
+  inst.constraints.clear();
+  inst.unit_seen_.clear();
+  for (SigmaState& ss : inst.sigma_state_) {
+    ss.attrs.clear();
+    ss.proj_ids.clear();
+    ss.projections.clear();
+  }
+  inst.active_guards_.clear();
+  inst.guarded_ = options.guard_cfds;
+  inst.varmap.BuildFrom(se);
   const VarMap& vm = inst.varmap;
   const Schema& schema = se.schema();
   const EntityInstance& ie = se.instance();
@@ -184,6 +204,7 @@ Result<Instantiation> Instantiation::Build(
   inst.num_tuples_ = ie.size();
   inst.cfd_applicable_.assign(se.gamma.size(), false);
   inst.cfd_lhs_attr_.assign(n_attrs, false);
+  inst.cfd_guard_.assign(se.gamma.size(), sat::kVarUndef);
 
   // (1a) Partial currency orders of It, lifted to value-level unit rules.
   for (int a = 0; a < n_attrs; ++a) {
@@ -238,6 +259,10 @@ Result<Instantiation> Instantiation::Build(
 
   // (3) Applicable constant CFDs: ωX -> b ≺^v_B tp[B] for each competing b.
   for (int gi : vm.applicable_cfds()) {
+    if (inst.guarded_) {
+      inst.cfd_guard_[gi] = inst.varmap.NewAuxVar();
+      inst.active_guards_.push_back(sat::Lit::Pos(inst.cfd_guard_[gi]));
+    }
     inst.GroundCfd(gi, se, /*first_b=*/0);
     inst.cfd_applicable_[gi] = true;
     for (const auto& [aj, cj] : se.gamma[gi].lhs()) {
@@ -245,7 +270,7 @@ Result<Instantiation> Instantiation::Build(
     }
   }
 
-  return inst;
+  return Status::OK();
 }
 
 Result<InstantiationDelta> Instantiation::ExtendWith(
@@ -314,17 +339,34 @@ Result<InstantiationDelta> Instantiation::ExtendWith(
     }
   }
 
-  // Append-only limit: a new value in the LHS attribute of an
-  // already-grounded CFD would have to *strengthen* every emitted rule
-  // body for that CFD (the pattern must now dominate the new value too) —
-  // clauses cannot be retracted, so the caller must rebuild.
+  // A new value in the LHS attribute of an already-grounded CFD
+  // *strengthens* every emitted rule body for that CFD (the pattern must
+  // now dominate the new value too), and clauses cannot be retracted.
+  // Unguarded grounding must bail out and rebuild. Guarded grounding
+  // instead retires the affected CFDs' guards — ExtendCnf asserts them
+  // off — and re-grounds those CFDs below under fresh guards, keeping the
+  // whole extension append-only.
   InstantiationDelta out;
+  std::vector<int> retired_cfds;
   for (const auto& p : pending) {
-    if (cfd_lhs_attr_[p.attr]) {
+    if (!cfd_lhs_attr_[p.attr]) continue;
+    if (!guarded_) {
       out.needs_rebuild = true;
       return out;
     }
+    for (size_t gi = 0; gi < extended_se.gamma.size(); ++gi) {
+      if (!cfd_applicable_[gi]) continue;
+      for (const auto& [aj, cj] : extended_se.gamma[gi].lhs()) {
+        if (aj == p.attr) {
+          retired_cfds.push_back(static_cast<int>(gi));
+          break;
+        }
+      }
+    }
   }
+  std::sort(retired_cfds.begin(), retired_cfds.end());
+  retired_cfds.erase(std::unique(retired_cfds.begin(), retired_cfds.end()),
+                     retired_cfds.end());
 
   // --- apply --------------------------------------------------------------
   out.first_new_constraint = static_cast<int>(constraints.size());
@@ -344,6 +386,24 @@ Result<InstantiationDelta> Instantiation::ExtendWith(
     cfd_applicable_[gi] = true;
     for (const auto& [aj, cj] : extended_se.gamma[gi].lhs()) {
       cfd_lhs_attr_[aj] = true;
+    }
+  }
+
+  // Guard churn (guarded grounding): retired CFD versions swap to a fresh
+  // guard in place — the live-guard list keeps its stable order — and
+  // newly applicable CFDs get their first guard before grounding.
+  for (int gi : retired_cfds) {
+    out.retired_guards.push_back(cfd_guard_[gi]);
+    const sat::Var fresh = varmap.NewAuxVar();
+    for (sat::Lit& l : active_guards_) {
+      if (l.var() == cfd_guard_[gi]) l = sat::Lit::Pos(fresh);
+    }
+    cfd_guard_[gi] = fresh;
+  }
+  if (guarded_) {
+    for (int gi : newly_applicable) {
+      cfd_guard_[gi] = varmap.NewAuxVar();
+      active_guards_.push_back(sat::Lit::Pos(cfd_guard_[gi]));
     }
   }
 
@@ -388,18 +448,23 @@ Result<InstantiationDelta> Instantiation::ExtendWith(
     }
   }
 
-  // (3) CFDs: newly competing values of already-applicable CFDs, then the
-  // full families of newly applicable ones. (Their LHS domains did not
-  // change — that is exactly the rebuild condition above — so recomputed
-  // bodies match the rules already emitted.)
+  // (3) CFDs: newly competing values of still-valid applicable CFDs (their
+  // LHS domains did not change, so recomputed bodies match the rules
+  // already emitted), full re-grounds of retired versions under their
+  // fresh guards, then the full families of newly applicable ones.
   for (size_t gi = 0; gi < extended_se.gamma.size(); ++gi) {
     if (!cfd_applicable_[gi]) continue;
     const bool is_new =
         std::binary_search(newly_applicable.begin(), newly_applicable.end(),
                            static_cast<int>(gi));
     if (is_new) continue;
+    const bool is_retired =
+        std::binary_search(retired_cfds.begin(), retired_cfds.end(),
+                           static_cast<int>(gi));
     GroundCfd(static_cast<int>(gi), extended_se,
-              out.old_domain_sizes[extended_se.gamma[gi].rhs_attr()]);
+              is_retired
+                  ? 0
+                  : out.old_domain_sizes[extended_se.gamma[gi].rhs_attr()]);
   }
   for (int gi : newly_applicable) {
     GroundCfd(gi, extended_se, /*first_b=*/0);

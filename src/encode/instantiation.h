@@ -59,6 +59,12 @@ struct GroundConstraint {
   std::vector<OrderAtom> body;
   GroundHead head_kind = GroundHead::kAtom;
   OrderAtom head;
+  /// Guard selector (guarded grounding only): the CNF clause is emitted as
+  /// (¬guard ∨ clause) and holds only while the guard is assumed true.
+  /// One guard is shared by all rules of a (CFD, LHS-pattern-version); a
+  /// version whose guard has been retired stays in `constraints` but is
+  /// permanently deactivated in the formula. kVarUndef = unguarded.
+  sat::Var guard = sat::kVarUndef;
   /// Canonical emission rank within its family. For family (2) this packs
   /// (constraint index, projection-pair generation); TrueDer sorts by it so
   /// incremental appends and full rebuilds mine identical rule orders.
@@ -78,6 +84,15 @@ struct InstantiationOptions {
   /// vacuous — required for the framework's user tuples t_o, which are
   /// null outside the answered attributes (§III Remark (1)).
   bool strict_null_order = false;
+  /// Guard every grounded CFD rule body with a per-(CFD, LHS-pattern)
+  /// selector variable (see GroundConstraint::guard). With guards on, the
+  /// one non-append-only delta — a new value in an applicable CFD's LHS
+  /// attribute — no longer forces a rebuild: ExtendWith retires the old
+  /// guard and appends re-grounded guarded rules. Callers must then pass
+  /// guard_assumptions() to every solve/deduction over the encoding. The
+  /// ResolutionSession runs guarded; one-shot paths stay unguarded and
+  /// keep needs_rebuild semantics. Must match across Build/ExtendWith.
+  bool guard_cfds = false;
 };
 
 /// Hash / equality over a projection (vector of values), used by the
@@ -106,8 +121,10 @@ struct ProjEq {
 struct InstantiationDelta {
   /// True when the delta cannot be grounded append-only (a new domain
   /// value landed in the LHS attribute of an already-grounded CFD, which
-  /// would strengthen existing rule bodies). Nothing was mutated; the
-  /// caller must rebuild from scratch.
+  /// would strengthen existing rule bodies) — unguarded grounding only;
+  /// with InstantiationOptions::guard_cfds that case is expressed by
+  /// `retired_guards` instead and this is always false. When set, nothing
+  /// was mutated; the caller must rebuild from scratch.
   bool needs_rebuild = false;
   /// Constraints [first_new_constraint, constraints.size()) are new.
   int first_new_constraint = 0;
@@ -116,6 +133,10 @@ struct InstantiationDelta {
   std::vector<int> old_domain_sizes;
   /// Variable count before the extension.
   int old_num_vars = 0;
+  /// Guards of CFD versions invalidated by this delta (their LHS domain
+  /// grew). ExtendCnf asserts each one off with a permanent unit clause;
+  /// the re-grounded replacement rules are among the new constraints.
+  std::vector<sat::Var> retired_guards;
 };
 
 /// \brief Ω(Se): the var map plus the materialized constraint families.
@@ -128,6 +149,22 @@ struct Instantiation {
   /// detected later by IsValid.
   static Result<Instantiation> Build(const Specification& se,
                                      const InstantiationOptions& options = {});
+
+  /// In-place Build: grounds `se` into `*out`, recycling the projection
+  /// tables, hash-table buckets and vectors `*out` has already grown
+  /// (SessionScratch's cross-entity Instantiation arena). Observably
+  /// identical to assigning a fresh Build. On error `*out` is left in an
+  /// unspecified (but destructible/reusable) state.
+  static Status BuildInto(const Specification& se, Instantiation* out,
+                          const InstantiationOptions& options = {});
+
+  /// Active CFD guard literals (guarded grounding only; empty otherwise).
+  /// Every solve or unit-propagation pass over the guarded CNF must
+  /// assume these true — a retired guard is instead asserted off inside
+  /// the formula by ExtendCnf.
+  const std::vector<sat::Lit>& guard_assumptions() const {
+    return active_guards_;
+  }
 
   /// Incrementally grounds Se ⊕ Ot. `extended_se` must be
   /// Extend(previous, delta) for the specification this instantiation was
@@ -159,6 +196,9 @@ struct Instantiation {
   std::vector<bool> cfd_applicable_;        // per gamma index
   std::vector<bool> cfd_lhs_attr_;  // attr is LHS of an applicable CFD
   int num_tuples_ = 0;              // tuples grounded so far
+  bool guarded_ = false;            // InstantiationOptions::guard_cfds
+  std::vector<sat::Var> cfd_guard_;  // current guard per gamma index
+  std::vector<sat::Lit> active_guards_;  // live guard literals, stable order
 };
 
 }  // namespace ccr

@@ -8,13 +8,30 @@ namespace ccr {
 
 VarMap VarMap::Build(const Specification& se) {
   VarMap vm;
+  vm.BuildFrom(se);
+  return vm;
+}
+
+void VarMap::BuildFrom(const Specification& se) {
+  VarMap& vm = *this;
   const Schema& schema = se.schema();
   const EntityInstance& inst = se.instance();
   const int n_attrs = schema.size();
 
+  // Clear-in-place: inner vectors and hash tables keep their buffers so a
+  // recycled VarMap (SessionScratch's Instantiation arena) refills warm.
   vm.domains_.resize(n_attrs);
   vm.index_.resize(n_attrs);
   vm.adom_sizes_.resize(n_attrs);
+  for (int a = 0; a < n_attrs; ++a) {
+    vm.domains_[a].clear();
+    vm.index_[a].clear();
+  }
+  vm.applicable_cfds_.clear();
+  vm.ext_vars_.clear();
+  vm.ext_atoms_.clear();
+  vm.num_vars_ = 0;
+  vm.dense_num_vars_ = 0;
 
   auto add_value = [&vm](int attr, const Value& v) -> bool {
     auto [it, inserted] = vm.index_[attr].emplace(
@@ -67,7 +84,13 @@ VarMap VarMap::Build(const Specification& se) {
   }
   vm.num_vars_ = next;
   vm.dense_num_vars_ = next;
-  return vm;
+}
+
+sat::Var VarMap::NewAuxVar() {
+  // Hold an ext slot so Decode's dense/ext split stays index-aligned; the
+  // sentinel attr marks the slot as "no atom" for IsOrderVar.
+  ext_atoms_.push_back(OrderAtom{-1, -1, -1});
+  return num_vars_++;
 }
 
 int VarMap::AddDomainValue(int attr, const Value& v, bool active) {

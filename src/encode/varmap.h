@@ -49,6 +49,12 @@ class VarMap {
   /// Builds domains from `se` and selects the applicable CFDs.
   static VarMap Build(const Specification& se);
 
+  /// In-place equivalent of `*this = Build(se)` that keeps the heap
+  /// allocations (domain vectors, value-index hash tables, extension maps)
+  /// already grown — the Instantiation arena recycles one VarMap across
+  /// back-to-back entities. Observably identical to a fresh Build.
+  void BuildFrom(const Specification& se);
+
   int num_attrs() const { return static_cast<int>(domains_.size()); }
 
   /// Ordered value domain of `attr` (active domain first, then reachable
@@ -99,6 +105,17 @@ class VarMap {
   /// Records gamma index `gi` as applicable, keeping applicable_cfds()
   /// sorted (Build emits it sorted; incremental discovery must match).
   void MarkCfdApplicable(int gi);
+
+  /// Allocates an auxiliary SAT variable that denotes no order atom (CFD
+  /// guard selectors). Decode must not be called on it; IsOrderVar
+  /// answers false. Ids share the one universe with atom variables so the
+  /// CNF, the solver and the deduction pass all agree on var counts.
+  sat::Var NewAuxVar();
+
+  /// True iff `v` encodes an order atom (false for NewAuxVar ids).
+  bool IsOrderVar(sat::Var v) const {
+    return v < dense_num_vars_ || ext_atoms_[v - dense_num_vars_].attr >= 0;
+  }
 
  private:
   static uint64_t PackAtom(int attr, int less, int more) {

@@ -6,6 +6,7 @@ namespace ccr::maxsat {
 
 using sat::Cnf;
 using sat::Lit;
+using sat::ScopedVars;
 using sat::SolveResult;
 using sat::Solver;
 using sat::Var;
@@ -43,73 +44,120 @@ void AddAtMostK(Cnf* cnf, const std::vector<Lit>& xs, int k) {
   }
 }
 
+MaxSatResult IncrementalMaxSat::Solve(
+    const std::vector<std::vector<Lit>>& soft,
+    std::span<const Lit> extra_assumptions) {
+  MaxSatResult result;
+  const int n = static_cast<int>(soft.size());
+  const int num_orig = solver_->num_vars();
+
+  std::vector<Lit> base(extra_assumptions.begin(), extra_assumptions.end());
+  if (solver_->SolveWithAssumptions(base) != SolveResult::kSat) {
+    return result;
+  }
+  result.hard_satisfiable = true;
+  if (n == 0) {
+    result.model.resize(num_orig);
+    for (Var v = 0; v < num_orig; ++v) result.model[v] = solver_->ModelValue(v);
+    return result;
+  }
+
+  // Relaxation: selector si with (Ci ∨ ¬si); dropped literal di = ¬si.
+  ScopedVars scope(solver_);
+  base.push_back(scope.activation());
+  std::vector<Var> sel(n);
+  std::vector<Lit> dropped;
+  dropped.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    sel[i] = scope.NewVar();
+    std::vector<Lit> clause = soft[i];
+    clause.push_back(Lit::Neg(sel[i]));
+    scope.AddClause(std::move(clause));
+    dropped.push_back(Lit::Neg(sel[i]));
+  }
+
+  // Triangular Sinz counter over the dropped literals, encoded once:
+  // count[i][j] <= "at least j+1 of d_0..d_i true", clauses only in the
+  // counting direction, which is all an "at most k" bound needs. Row i
+  // has width i+1 — "at least j+1 of the first i+1" is impossible past
+  // that, so the square encoding's dead variables are never allocated.
+  // Bound k is then a single assumption ¬count[n-1][k] — the linear
+  // search and the canonicalization below reuse the same encoding for
+  // every k.
+  std::vector<std::vector<Var>> count(n);
+  for (int i = 0; i < n; ++i) {
+    count[i].resize(i + 1);
+    for (int j = 0; j <= i; ++j) count[i][j] = scope.NewVar();
+  }
+  scope.AddClause({~dropped[0], Lit::Pos(count[0][0])});
+  for (int i = 1; i < n; ++i) {
+    scope.AddClause({~dropped[i], Lit::Pos(count[i][0])});
+    for (int j = 0; j < i; ++j) {
+      scope.AddClause({Lit::Neg(count[i - 1][j]), Lit::Pos(count[i][j])});
+    }
+    for (int j = 1; j <= i; ++j) {
+      scope.AddClause({~dropped[i], Lit::Neg(count[i - 1][j - 1]),
+                       Lit::Pos(count[i][j])});
+    }
+  }
+
+  // Linear search: the first satisfiable k is the exact optimum (k = n
+  // never needs a bound — all softs dropped is satisfiable by the hard
+  // check above).
+  int best_k = n;
+  std::vector<Lit> assume = base;
+  for (int k = 0; k < n; ++k) {
+    assume.push_back(Lit::Neg(count[n - 1][k]));
+    const SolveResult r = solver_->SolveWithAssumptions(assume);
+    assume.pop_back();
+    if (r == SolveResult::kSat) {
+      best_k = k;
+      break;
+    }
+  }
+
+  // Canonical extraction: fix selectors in soft-index order, keeping each
+  // iff still satisfiable under the optimum bound. Under bound best_k any
+  // model satisfies exactly the softs whose selectors are on (on ⊆
+  // satisfied, |on| >= n-k, |satisfied| <= n-k), so this pins down the
+  // lexicographically greatest optimal kept set — a semantic property,
+  // independent of solver history.
+  if (best_k < n) assume.push_back(Lit::Neg(count[n - 1][best_k]));
+  for (int i = 0; i < n; ++i) {
+    assume.push_back(Lit::Pos(sel[i]));
+    if (solver_->SolveWithAssumptions(assume) != SolveResult::kSat) {
+      assume.back() = Lit::Neg(sel[i]);
+    }
+  }
+  const SolveResult final_r = solver_->SolveWithAssumptions(assume);
+  CCR_CHECK(final_r == SolveResult::kSat);
+
+  result.model.resize(num_orig);
+  for (Var v = 0; v < num_orig; ++v) result.model[v] = solver_->ModelValue(v);
+  result.soft_satisfied.assign(n, false);
+  result.num_satisfied = 0;
+  for (int i = 0; i < n; ++i) {
+    // A soft counts as satisfied if its literals hold in the model
+    // (selector choice aside, this is what callers care about).
+    for (Lit l : soft[i]) {
+      CCR_DCHECK(l.var() < num_orig);
+      if (result.model[l.var()] != l.negated()) {
+        result.soft_satisfied[i] = true;
+        ++result.num_satisfied;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
 MaxSatResult SolveMaxSat(const Cnf& hard,
                          const std::vector<std::vector<Lit>>& soft,
                          const sat::SolverOptions& options) {
-  MaxSatResult result;
-  const int n_soft = static_cast<int>(soft.size());
-
-  // Check the hard clauses alone first.
-  {
-    Solver probe(options);
-    probe.AddCnf(hard);
-    if (probe.Solve() != SolveResult::kSat) return result;
-    result.hard_satisfiable = true;
-    if (n_soft == 0) {
-      result.model.resize(hard.num_vars());
-      for (Var v = 0; v < hard.num_vars(); ++v) {
-        result.model[v] = probe.ModelValue(v);
-      }
-      return result;
-    }
-  }
-
-  for (int k = 0; k <= n_soft; ++k) {
-    // Fresh formula per k: hard + relaxed softs + at-most-k dropped.
-    Cnf cnf = hard;
-    std::vector<Var> selectors(n_soft);
-    std::vector<Lit> dropped;
-    dropped.reserve(n_soft);
-    for (int i = 0; i < n_soft; ++i) {
-      selectors[i] = cnf.NewVar();
-      std::vector<Lit> clause = soft[i];
-      clause.push_back(Lit::Neg(selectors[i]));
-      cnf.AddClause(std::span<const Lit>(clause.data(), clause.size()));
-      dropped.push_back(Lit::Neg(selectors[i]));
-    }
-    AddAtMostK(&cnf, dropped, k);
-    // Prefer selectors on: a dropped soft may only be dropped when needed.
-    Solver solver(options);
-    solver.AddCnf(cnf);
-    if (solver.Solve() != SolveResult::kSat) continue;
-
-    result.soft_satisfied.assign(n_soft, false);
-    result.num_satisfied = 0;
-    result.model.resize(hard.num_vars());
-    for (Var v = 0; v < hard.num_vars(); ++v) {
-      result.model[v] = solver.ModelValue(v);
-    }
-    for (int i = 0; i < n_soft; ++i) {
-      // A soft counts as satisfied if its literals hold in the model
-      // (selector choice aside, this is what callers care about).
-      bool sat_i = false;
-      for (Lit l : soft[i]) {
-        const bool val = result.model[l.var()] != l.negated();
-        if (val) {
-          sat_i = true;
-          break;
-        }
-      }
-      if (sat_i) {
-        result.soft_satisfied[i] = true;
-        ++result.num_satisfied;
-      }
-    }
-    return result;
-  }
-  // Unreachable: k == n_soft always admits a model when hard is SAT.
-  CCR_CHECK(false);
-  return result;
+  Solver solver(options);
+  solver.AddCnf(hard);
+  IncrementalMaxSat inc(&solver);
+  return inc.Solve(soft);
 }
 
 }  // namespace ccr::maxsat

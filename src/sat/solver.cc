@@ -465,7 +465,7 @@ int64_t Solver::Luby(int64_t i) {
 }
 
 SolveResult Solver::Search(int64_t conflict_budget,
-                           const std::vector<Lit>& assumptions) {
+                           std::span<const Lit> assumptions) {
   int64_t conflicts_here = 0;
   std::vector<Lit> learnt;
   while (true) {
@@ -544,14 +544,15 @@ SolveResult Solver::Search(int64_t conflict_budget,
   }
 }
 
-SolveResult Solver::SolveInternal(const std::vector<Lit>& assumptions) {
+SolveResult Solver::SolveInternal(std::span<const Lit> assumptions) {
   const SolverStats before = stats_;
+  if (!assumptions.empty()) ++stats_.assumption_solves;
   const SolveResult r = SolveLoop(assumptions);
   last_call_ = stats_ - before;
   return r;
 }
 
-SolveResult Solver::SolveLoop(const std::vector<Lit>& assumptions) {
+SolveResult Solver::SolveLoop(std::span<const Lit> assumptions) {
   conflict_core_.clear();
   if (!ok_) return SolveResult::kUnsat;
   for (Lit a : assumptions) {

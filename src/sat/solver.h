@@ -12,6 +12,8 @@
 #define CCR_SAT_SOLVER_H_
 
 #include <cstdint>
+#include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "src/sat/cnf.h"
@@ -41,12 +43,17 @@ struct SolverStats {
   int64_t propagations = 0;
   int64_t restarts = 0;
   int64_t learnt_literals = 0;
+  /// Solve calls that carried at least one assumption. With one solver
+  /// persisting across pipeline phases and rounds, this is the count of
+  /// conditional queries answered without copying or rebuilding anything.
+  int64_t assumption_solves = 0;
 
   /// Component-wise difference (for per-call deltas).
   SolverStats operator-(const SolverStats& o) const {
-    return {conflicts - o.conflicts, decisions - o.decisions,
-            propagations - o.propagations, restarts - o.restarts,
-            learnt_literals - o.learnt_literals};
+    return {conflicts - o.conflicts,           decisions - o.decisions,
+            propagations - o.propagations,     restarts - o.restarts,
+            learnt_literals - o.learnt_literals,
+            assumption_solves - o.assumption_solves};
   }
 };
 
@@ -82,9 +89,17 @@ class Solver {
   /// Decides satisfiability of the accumulated clauses.
   SolveResult Solve() { return SolveInternal({}); }
 
-  /// Decides satisfiability under the given assumption literals.
-  SolveResult SolveWithAssumptions(const std::vector<Lit>& assumptions) {
+  /// Decides satisfiability under the given assumption literals. The
+  /// assumptions hold for this call only — nothing is permanently
+  /// asserted, which is what lets one persistent solver answer every
+  /// phase of a ResolutionSession (validity, deduction, suggestion)
+  /// without copying CNF.
+  SolveResult SolveWithAssumptions(std::span<const Lit> assumptions) {
     return SolveInternal(assumptions);
+  }
+  SolveResult SolveWithAssumptions(std::initializer_list<Lit> assumptions) {
+    return SolveInternal(
+        std::span<const Lit>(assumptions.begin(), assumptions.size()));
   }
 
   /// Model access after kSat. Precondition: last solve returned kSat.
@@ -146,10 +161,10 @@ class Solver {
   };
 
   // --- search ----------------------------------------------------------
-  SolveResult SolveInternal(const std::vector<Lit>& assumptions);
-  SolveResult SolveLoop(const std::vector<Lit>& assumptions);
+  SolveResult SolveInternal(std::span<const Lit> assumptions);
+  SolveResult SolveLoop(std::span<const Lit> assumptions);
   SolveResult Search(int64_t conflict_budget,
-                     const std::vector<Lit>& assumptions);
+                     std::span<const Lit> assumptions);
   ClauseRef Propagate();
   void Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
                int* out_btlevel);
@@ -209,6 +224,67 @@ class Solver {
   std::vector<Lit> conflict_core_;
 
   double max_learnts_ = 0;
+};
+
+/// \brief A batch of temporary variables and clauses on a persistent
+/// solver, deactivated wholesale when the scope is released.
+///
+/// Incremental MaxSAT (and GetSug's per-round rule selectors) introduce
+/// auxiliary variables whose clauses must not constrain later rounds of
+/// the same session. A scope ties every clause added through it to a fresh
+/// activation literal `act`: the clause is stored as (clause ∨ ¬act), so it
+/// only bites while `act` is among the solve assumptions. Release() asserts
+/// ¬act at the top level — every scope clause (and every learnt clause
+/// derived from one, which necessarily contains ¬act) becomes permanently
+/// satisfied and is swept by the solver's top-level simplification — and
+/// freezes the scope's variables to false so they never resurface as
+/// decision candidates. Variable ids are not reclaimed; everything else
+/// about the scope is gone.
+///
+/// Usage:
+///   ScopedVars scope(&solver);
+///   Var s = scope.NewVar();
+///   scope.AddClause({Lit::Neg(s), some_lit});
+///   solver.SolveWithAssumptions({scope.activation(), Lit::Pos(s)});
+///   // scope.Release() — or let the destructor do it.
+class ScopedVars {
+ public:
+  explicit ScopedVars(Solver* solver)
+      : solver_(solver), act_(solver->NewVar()) {}
+  ~ScopedVars() { Release(); }
+  ScopedVars(const ScopedVars&) = delete;
+  ScopedVars& operator=(const ScopedVars&) = delete;
+
+  /// Assume this literal (true) in every solve that should see the
+  /// scope's clauses.
+  Lit activation() const { return Lit::Pos(act_); }
+
+  /// A fresh variable owned by the scope (frozen to false on release).
+  Var NewVar() {
+    const Var v = solver_->NewVar();
+    vars_.push_back(v);
+    return v;
+  }
+
+  /// Adds (lits ∨ ¬activation): active only while activation() is assumed.
+  bool AddClause(std::vector<Lit> lits) {
+    lits.push_back(Lit::Neg(act_));
+    return solver_->AddClause(std::move(lits));
+  }
+
+  /// Permanently deactivates the scope (idempotent).
+  void Release() {
+    if (released_) return;
+    released_ = true;
+    solver_->AddClause({Lit::Neg(act_)});
+    for (Var v : vars_) solver_->AddClause({Lit::Neg(v)});
+  }
+
+ private:
+  Solver* solver_;
+  Var act_;
+  std::vector<Var> vars_;
+  bool released_ = false;
 };
 
 }  // namespace ccr::sat

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "paper_fixture.h"
+#include "src/core/deduce.h"
 #include "src/encode/cnf_builder.h"
 #include "src/encode/instantiation.h"
 #include "src/sat/solver.h"
@@ -314,6 +315,144 @@ TEST(CnfBuilderTest, NullHeadSemantics) {
   sat::Solver solver;
   solver.AddCnf(BuildCnf(*strict_ground));
   EXPECT_EQ(solver.Solve(), sat::SolveResult::kUnsat);
+}
+
+// --- guarded CFD grounding ----------------------------------------------
+
+// Two-attribute spec with CFD A=a1 -> B=b1 over two tuples.
+Specification GuardSpec() {
+  Schema schema = Schema::Make({"A", "B"}).value();
+  EntityInstance e(schema, "guard-entity");
+  EXPECT_TRUE(e.Add(Tuple({Value::Str("a1"), Value::Str("b1")})).ok());
+  EXPECT_TRUE(e.Add(Tuple({Value::Str("a2"), Value::Str("b2")})).ok());
+  Specification se;
+  se.temporal = TemporalInstance(std::move(e));
+  se.gamma.emplace_back(
+      std::vector<std::pair<int, Value>>{{0, Value::Str("a1")}}, 1,
+      Value::Str("b1"));
+  return se;
+}
+
+TEST(GuardedGroundingTest, CfdClausesCarryGuardLiterals) {
+  InstantiationOptions guarded;
+  guarded.guard_cfds = true;
+  auto inst = Instantiation::Build(GuardSpec(), guarded);
+  ASSERT_TRUE(inst.ok());
+  ASSERT_EQ(inst->guard_assumptions().size(), 1u);
+  const sat::Lit guard = inst->guard_assumptions()[0];
+  EXPECT_FALSE(inst->varmap.IsOrderVar(guard.var()));
+
+  int guarded_cfd_rules = 0;
+  for (const GroundConstraint& gc : inst->constraints) {
+    if (gc.source == GroundSource::kCfd) {
+      EXPECT_EQ(gc.guard, guard.var());
+      ++guarded_cfd_rules;
+    } else {
+      EXPECT_EQ(gc.guard, sat::kVarUndef);
+    }
+  }
+  EXPECT_GT(guarded_cfd_rules, 0);
+
+  // The guarded CNF widens exactly the CFD clauses by one literal.
+  const sat::Cnf guarded_cnf = BuildCnf(*inst);
+  auto plain_inst = Instantiation::Build(GuardSpec());
+  ASSERT_TRUE(plain_inst.ok());
+  const sat::Cnf plain_cnf = BuildCnf(*plain_inst);
+  EXPECT_EQ(guarded_cnf.num_clauses(), plain_cnf.num_clauses());
+  EXPECT_EQ(guarded_cnf.num_literals(),
+            plain_cnf.num_literals() + guarded_cfd_rules);
+}
+
+TEST(GuardedGroundingTest, LhsGrowthRetiresAndRegrounds) {
+  InstantiationOptions guarded;
+  guarded.guard_cfds = true;
+  auto inst = Instantiation::Build(GuardSpec(), guarded);
+  ASSERT_TRUE(inst.ok());
+  const sat::Lit old_guard = inst->guard_assumptions()[0];
+  sat::Cnf cnf = BuildCnf(*inst);
+
+  // New value in A — the CFD's LHS attribute.
+  PartialTemporalOrder ot;
+  ot.new_tuples.push_back(Tuple({Value::Str("a3"), Value::Null()}));
+  ot.orders.emplace_back(0, 0, 2);
+  ot.orders.emplace_back(0, 1, 2);
+  auto next = Extend(GuardSpec(), ot);
+  ASSERT_TRUE(next.ok());
+  auto delta = inst->ExtendWith(*next, ot, guarded);
+  ASSERT_TRUE(delta.ok());
+  EXPECT_FALSE(delta->needs_rebuild);
+  ASSERT_EQ(delta->retired_guards.size(), 1u);
+  EXPECT_EQ(delta->retired_guards[0], old_guard.var());
+
+  // A fresh guard replaced the retired one.
+  ASSERT_EQ(inst->guard_assumptions().size(), 1u);
+  const sat::Lit new_guard = inst->guard_assumptions()[0];
+  EXPECT_NE(new_guard.var(), old_guard.var());
+
+  // The re-grounded rules dominate the grown domain (one more body atom)
+  // and carry the fresh guard; the stale rules keep the old one.
+  int stale = 0, fresh_rules = 0;
+  for (const GroundConstraint& gc : inst->constraints) {
+    if (gc.source != GroundSource::kCfd) continue;
+    if (gc.guard == old_guard.var()) {
+      ++stale;
+      EXPECT_EQ(gc.body.size(), 1u);  // dominated {a2} only
+    } else {
+      EXPECT_EQ(gc.guard, new_guard.var());
+      ++fresh_rules;
+      EXPECT_EQ(gc.body.size(), 2u);  // dominates {a2, a3}
+    }
+  }
+  EXPECT_GT(stale, 0);
+  EXPECT_GE(fresh_rules, stale);
+
+  // Extending the CNF and seeding the active guard reproduces, literally,
+  // what a from-scratch unguarded grounding of the extended spec deduces.
+  ExtendCnf(*inst, *delta, &cnf);
+  const DeducedOrders od_guarded =
+      DeduceOrder(*inst, cnf, {}, inst->guard_assumptions());
+  auto fresh = Instantiation::Build(*next);
+  ASSERT_TRUE(fresh.ok());
+  const sat::Cnf fresh_cnf = BuildCnf(*fresh);
+  const DeducedOrders od_fresh = DeduceOrder(*fresh, fresh_cnf);
+  EXPECT_EQ(od_guarded.CountPairs(), od_fresh.CountPairs());
+
+  // And satisfiability under the active guard matches the rebuilt truth.
+  sat::Solver guarded_solver;
+  guarded_solver.AddCnf(cnf);
+  const std::vector<sat::Lit>& assume = inst->guard_assumptions();
+  EXPECT_EQ(guarded_solver.SolveWithAssumptions(
+                std::span<const sat::Lit>(assume.data(), assume.size())),
+            sat::SolveResult::kSat);
+  sat::Solver fresh_solver;
+  fresh_solver.AddCnf(fresh_cnf);
+  EXPECT_EQ(fresh_solver.Solve(), sat::SolveResult::kSat);
+}
+
+TEST(GuardedGroundingTest, BuildIntoRecyclesArena) {
+  // BuildInto on a warm Instantiation must be observably identical to a
+  // fresh Build — same constraints, same domains, same var counts.
+  Instantiation arena;
+  for (int round = 0; round < 3; ++round) {
+    const Specification se = round % 2 == 0 ? GuardSpec() : GeorgeSpec();
+    ASSERT_TRUE(Instantiation::BuildInto(se, &arena).ok());
+    auto fresh = Instantiation::Build(se);
+    ASSERT_TRUE(fresh.ok());
+    ASSERT_EQ(arena.constraints.size(), fresh->constraints.size());
+    for (size_t i = 0; i < arena.constraints.size(); ++i) {
+      EXPECT_EQ(arena.constraints[i].source, fresh->constraints[i].source);
+      EXPECT_EQ(arena.constraints[i].body.size(),
+                fresh->constraints[i].body.size());
+      EXPECT_EQ(arena.constraints[i].seq, fresh->constraints[i].seq);
+    }
+    EXPECT_EQ(arena.varmap.num_vars(), fresh->varmap.num_vars());
+    for (int a = 0; a < arena.varmap.num_attrs(); ++a) {
+      EXPECT_EQ(arena.varmap.domain(a), fresh->varmap.domain(a));
+    }
+    EXPECT_EQ(BuildCnf(arena).num_clauses(), BuildCnf(*fresh).num_clauses());
+    EXPECT_EQ(BuildCnf(arena).num_literals(),
+              BuildCnf(*fresh).num_literals());
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "paper_fixture.h"
@@ -47,6 +48,19 @@ void ExpectSameResult(const ResolveResult& a, const ResolveResult& b,
   }
 }
 
+// With selector-guarded CFDs every session delta is append-only: the
+// session engine must never rebuild, while the legacy engine rebuilds
+// once per round by definition.
+void ExpectSessionNeverRebuilds(const ResolveResult& session_result,
+                                const ResolveResult& legacy_result) {
+  for (const RoundTrace& t : session_result.trace) {
+    EXPECT_EQ(t.num_rebuilds, 0) << "session round " << t.round;
+  }
+  for (const RoundTrace& t : legacy_result.trace) {
+    EXPECT_EQ(t.num_rebuilds, 1) << "legacy round " << t.round;
+  }
+}
+
 // Resolves every entity of `ds` through both engines and demands
 // identical results. answers_per_round = 1 forces several interaction
 // rounds, exercising repeated incremental extension.
@@ -70,6 +84,7 @@ void ExpectEquivalenceOnDataset(const Dataset& ds, int max_rounds,
     if (!with_session.ok()) continue;
     ExpectSameResult(*with_session, *with_legacy,
                      ds.name + " entity " + std::to_string(e));
+    ExpectSessionNeverRebuilds(*with_session, *with_legacy);
 
     // No-oracle (fully automatic) pass as well.
     auto auto_session =
@@ -209,32 +224,62 @@ TEST(ResolutionSessionTest, InDomainAnswerTakesIncrementalPath) {
   EXPECT_TRUE(session->CheckValidity().valid);
 }
 
-TEST(ResolutionSessionTest, NewCfdLhsValueFallsBackToRebuild) {
+TEST(ResolutionSessionTest, NewCfdLhsValueExtendsIncrementally) {
   auto session = ResolutionSession::Create(CfdSpec());
   ASSERT_TRUE(session.ok());
   EXPECT_TRUE(session->CheckValidity().valid);
 
   // t_o carries a *new* value for A — the LHS attribute of the grounded
-  // CFD — which strengthens the CFD's rule bodies: not expressible
-  // append-only, so the session must rebuild (and still be correct).
+  // CFD — which strengthens the CFD's rule bodies. The guarded grounding
+  // retires the old rule version's guard and appends re-grounded guarded
+  // rules: append-only, no rebuild.
   PartialTemporalOrder ot;
   ot.new_tuples.push_back(Tuple({Value::Str("a3"), Value::Null()}));
   ot.orders.emplace_back(0, 0, 2);
   ot.orders.emplace_back(0, 1, 2);
   ASSERT_TRUE(session->ExtendWith(ot).ok());
-  EXPECT_EQ(session->incremental_extensions(), 0);
-  EXPECT_EQ(session->rebuilds(), 1);
+  EXPECT_EQ(session->incremental_extensions(), 1);
+  EXPECT_EQ(session->rebuilds(), 0);
   EXPECT_TRUE(session->CheckValidity().valid);
 
-  // The rebuilt encoding matches a from-scratch grounding of the
-  // extended specification.
+  // The extended session deduces exactly what a from-scratch grounding of
+  // the extended specification deduces.
   auto direct = Extend(CfdSpec(), ot);
   ASSERT_TRUE(direct.ok());
   auto fresh = Instantiation::Build(*direct);
   ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(session->instantiation().constraints.size(),
-            fresh->constraints.size());
-  EXPECT_EQ(session->cnf().num_clauses(), BuildCnf(*fresh).num_clauses());
+  const sat::Cnf fresh_cnf = BuildCnf(*fresh);
+  EXPECT_TRUE(IsValidCnf(fresh_cnf).valid);
+  const DeducedOrders od_fresh = DeduceOrder(*fresh, fresh_cnf);
+  const DeducedOrders od_session = session->Deduce();
+  EXPECT_EQ(od_fresh.CountPairs(), od_session.CountPairs());
+  const std::vector<int> true_fresh =
+      ExtractTrueValueIndices(fresh->varmap, od_fresh);
+  const std::vector<int> true_sess = ExtractTrueValueIndices(
+      session->instantiation().varmap, od_session);
+  ASSERT_EQ(true_fresh.size(), true_sess.size());
+  for (size_t a = 0; a < true_fresh.size(); ++a) {
+    const Value vf = true_fresh[a] >= 0
+                         ? fresh->varmap.domain(static_cast<int>(a))
+                               [true_fresh[a]]
+                         : Value::Null();
+    const Value vs =
+        true_sess[a] >= 0
+            ? session->instantiation().varmap.domain(
+                  static_cast<int>(a))[true_sess[a]]
+            : Value::Null();
+    EXPECT_EQ(vf, vs) << "attr " << a;
+  }
+
+  // A second LHS extension retires the re-grounded version again and
+  // stays correct — the guard chain is unbounded.
+  PartialTemporalOrder ot2;
+  ot2.new_tuples.push_back(Tuple({Value::Str("a4"), Value::Null()}));
+  for (int t = 0; t < 3; ++t) ot2.orders.emplace_back(0, t, 3);
+  ASSERT_TRUE(session->ExtendWith(ot2).ok());
+  EXPECT_EQ(session->incremental_extensions(), 2);
+  EXPECT_EQ(session->rebuilds(), 0);
+  EXPECT_TRUE(session->CheckValidity().valid);
 }
 
 TEST(ResolutionSessionTest, NewNonCfdValueStaysIncremental) {
@@ -318,31 +363,168 @@ TEST(SessionScratchTest, ScratchBackedResolveMatchesOwnedAllocations) {
             static_cast<int64_t>(ds.entities.size()) - 1);
 }
 
-TEST(SessionScratchTest, RebuildPathRecyclesScratchObjects) {
-  // The rebuild fallback (new value in a grounded CFD's LHS) must also
-  // recycle the scratch's solver/CNF rather than allocating fresh ones,
-  // and stay correct afterwards.
+TEST(SessionScratchTest, LhsGrowthWithScratchStaysIncremental) {
+  // The formerly rebuild-only delta (new value in a grounded CFD's LHS)
+  // must extend in place on a scratch-backed session — the scratch solver
+  // is acquired exactly once at Create, never re-acquired mid-session —
+  // and the next session through the same scratch recycles it warm.
   ResolveOptions opts;
   SessionScratch scratch;
   opts.scratch = &scratch;
-  auto session = ResolutionSession::Create(CfdSpec(), opts);
+  {
+    auto session = ResolutionSession::Create(CfdSpec(), opts);
+    ASSERT_TRUE(session.ok());
+    EXPECT_TRUE(session->CheckValidity().valid);
+
+    PartialTemporalOrder ot;
+    ot.new_tuples.push_back(Tuple({Value::Str("a3"), Value::Null()}));
+    ot.orders.emplace_back(0, 0, 2);
+    ot.orders.emplace_back(0, 1, 2);
+    ASSERT_TRUE(session->ExtendWith(ot).ok());
+    EXPECT_EQ(session->rebuilds(), 0);
+    EXPECT_EQ(session->incremental_extensions(), 1);
+    EXPECT_EQ(scratch.solver_reuses(), 0);  // one acquisition, at Create
+    EXPECT_TRUE(session->CheckValidity().valid);
+  }
+  // Entity 2 through the same scratch: warm solver, identical behavior.
+  auto session2 = ResolutionSession::Create(CfdSpec(), opts);
+  ASSERT_TRUE(session2.ok());
+  EXPECT_EQ(scratch.solver_reuses(), 1);
+  EXPECT_TRUE(session2->CheckValidity().valid);
+}
+
+// --- Suggest bit-identity across engines --------------------------------
+//
+// The session computes GetSug as assumption-based incremental MaxSAT on
+// its persistent solver; the reference path re-grounds, re-encodes and
+// runs the one-shot Suggest on a fresh solver. Canonical MaxSAT extraction
+// makes the two agree exactly. Domains may be *permuted* between an
+// extended VarMap and a rebuilt one (appended values land after CFD
+// constants), so candidate sets are compared as value sets, not index
+// lists.
+
+std::vector<Value> MappedSorted(const VarMap& vm, int attr,
+                                const std::vector<int>& indices) {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(vm.domain(attr)[i]);
+  std::sort(out.begin(), out.end(),
+            [](const Value& x, const Value& y) { return x.Compare(y) < 0; });
+  return out;
+}
+
+void ExpectSameSuggestion(const Suggestion& a, const VarMap& va,
+                          const Suggestion& b, const VarMap& vb,
+                          const std::string& context) {
+  SCOPED_TRACE(context);
+  ASSERT_EQ(a.attrs, b.attrs);
+  ASSERT_EQ(a.candidates.size(), b.candidates.size());
+  for (size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_EQ(MappedSorted(va, a.attrs[i], a.candidates[i]),
+              MappedSorted(vb, b.attrs[i], b.candidates[i]))
+        << "candidates for attr " << a.attrs[i];
+  }
+  EXPECT_EQ(a.derivable_attrs, b.derivable_attrs);
+  ASSERT_EQ(a.clique_rules.size(), b.clique_rules.size());
+  for (size_t i = 0; i < a.clique_rules.size(); ++i) {
+    const DerivationRule& ra = a.clique_rules[i];
+    const DerivationRule& rb = b.clique_rules[i];
+    EXPECT_EQ(ra.rhs_attr, rb.rhs_attr);
+    EXPECT_EQ(va.domain(ra.rhs_attr)[ra.rhs_value],
+              vb.domain(rb.rhs_attr)[rb.rhs_value]);
+    ASSERT_EQ(ra.lhs.size(), rb.lhs.size());
+    for (size_t j = 0; j < ra.lhs.size(); ++j) {
+      EXPECT_EQ(ra.lhs[j].first, rb.lhs[j].first);
+      EXPECT_EQ(va.domain(ra.lhs[j].first)[ra.lhs[j].second],
+                vb.domain(rb.lhs[j].first)[rb.lhs[j].second]);
+    }
+  }
+}
+
+void ExpectSuggestEquivalenceOnDataset(const Dataset& ds, int max_rounds) {
+  for (size_t e = 0; e < ds.entities.size(); ++e) {
+    auto session = ResolutionSession::Create(ds.MakeSpec(static_cast<int>(e)));
+    ASSERT_TRUE(session.ok());
+    Specification legacy_spec = ds.MakeSpec(static_cast<int>(e));
+    const std::vector<Value>& truth = ds.entities[e].truth;
+    const int n_attrs = legacy_spec.schema().size();
+    for (int round = 0; round <= max_rounds; ++round) {
+      if (!session->CheckValidity().valid) break;
+
+      const DeducedOrders od_s = session->Deduce();
+      const VarMap& vm_s = session->instantiation().varmap;
+      const Suggestion sug_s = session->MakeSuggestion(
+          CandidateValues(vm_s, od_s), ExtractTrueValueIndices(vm_s, od_s));
+
+      auto fresh = Instantiation::Build(legacy_spec);
+      ASSERT_TRUE(fresh.ok());
+      const sat::Cnf phi = BuildCnf(*fresh);
+      const DeducedOrders od_f = DeduceOrder(*fresh, phi);
+      const Suggestion sug_f =
+          Suggest(*fresh, phi, CandidateValues(fresh->varmap, od_f),
+                  ExtractTrueValueIndices(fresh->varmap, od_f));
+
+      ExpectSameSuggestion(sug_s, vm_s, sug_f, fresh->varmap,
+                           ds.name + " entity " + std::to_string(e) +
+                               " round " + std::to_string(round));
+
+      // Answer the first suggested attribute with a known ground truth,
+      // as a dominating user tuple t_o; extend both paths identically.
+      int pick = -1;
+      for (int a : sug_f.attrs) {
+        if (!truth[a].is_null()) {
+          pick = a;
+          break;
+        }
+      }
+      if (pick < 0) break;
+      PartialTemporalOrder ot;
+      Tuple to(std::vector<Value>(n_attrs, Value::Null()));
+      to[pick] = truth[pick];
+      const int to_index = legacy_spec.instance().size();
+      ot.new_tuples.push_back(std::move(to));
+      for (int t = 0; t < to_index; ++t) {
+        ot.orders.emplace_back(pick, t, to_index);
+      }
+      ASSERT_TRUE(session->ExtendWith(ot).ok());
+      auto extended = Extend(legacy_spec, ot);
+      ASSERT_TRUE(extended.ok());
+      legacy_spec = *std::move(extended);
+    }
+    EXPECT_EQ(session->rebuilds(), 0);
+  }
+}
+
+TEST(SessionSuggestEquivalenceTest, NbaMultiRound) {
+  NbaOptions opts;
+  opts.num_entities = 6;
+  opts.max_tuples = 40;
+  ExpectSuggestEquivalenceOnDataset(GenerateNba(opts), /*max_rounds=*/3);
+}
+
+TEST(SessionSuggestEquivalenceTest, CareerMultiRound) {
+  CareerOptions opts;
+  opts.num_entities = 5;
+  opts.max_tuples = 40;
+  ExpectSuggestEquivalenceOnDataset(GenerateCareer(opts), /*max_rounds=*/3);
+}
+
+TEST(SessionSuggestEquivalenceTest, PersonMultiRound) {
+  PersonOptions opts;
+  opts.num_entities = 5;
+  opts.min_tuples = 8;
+  opts.max_tuples = 32;
+  ExpectSuggestEquivalenceOnDataset(GeneratePerson(opts), /*max_rounds=*/3);
+}
+
+TEST(ResolutionSessionTest, AssumptionSolvesAreCounted) {
+  // Guarded CFD sessions answer validity (and GetSug) under assumptions;
+  // the counter must reflect that so RoundTrace attribution works.
+  auto session = ResolutionSession::Create(CfdSpec());
   ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->assumption_solves(), 0);
   EXPECT_TRUE(session->CheckValidity().valid);
-
-  PartialTemporalOrder ot;
-  ot.new_tuples.push_back(Tuple({Value::Str("a3"), Value::Null()}));
-  ot.orders.emplace_back(0, 0, 2);
-  ot.orders.emplace_back(0, 1, 2);
-  ASSERT_TRUE(session->ExtendWith(ot).ok());
-  EXPECT_EQ(session->rebuilds(), 1);
-  EXPECT_EQ(scratch.solver_reuses(), 1);  // the rebuild recycled, not alloc'd
-  EXPECT_TRUE(session->CheckValidity().valid);
-
-  auto direct = Extend(CfdSpec(), ot);
-  ASSERT_TRUE(direct.ok());
-  auto fresh = Instantiation::Build(*direct);
-  ASSERT_TRUE(fresh.ok());
-  EXPECT_EQ(session->cnf().num_clauses(), BuildCnf(*fresh).num_clauses());
+  EXPECT_EQ(session->assumption_solves(), 1);  // guard-conditioned solve
 }
 
 TEST(ResolutionSessionTest, ValidityConflictsArePerCallDelta) {

@@ -8,7 +8,7 @@
 // JSON, scp them) is exact, which scripts/shard.sh asserts byte-for-byte.
 //
 //   # one shard of four, two worker threads, timing-free deterministic out
-//   ccr_experiment --dataset person --entities 24 --shard 1/4 \
+//   ccr_experiment --dataset person --entities 24 --shard 1/4
 //       --threads 2 --no-timings --out shard1.json
 //   # pool the shards
 //   ccr_experiment --merge shard*.json --no-timings --out merged.json
@@ -40,6 +40,7 @@ struct CliOptions {
   int answers_per_round = 1 << 20;
   double sigma_fraction = 1.0;
   double gamma_fraction = 1.0;
+  std::string engine = "session";  // session (default) | legacy
   bool include_timings = true;
   bool reuse_allocations = true;
   std::string out = "-";
@@ -67,6 +68,9 @@ void PrintUsage(std::FILE* to) {
                "  --answers-per-round N  oracle answers per suggestion\n"
                "  --sigma F         fraction of Sigma (default 1.0)\n"
                "  --gamma F         fraction of Gamma (default 1.0)\n"
+               "  --engine E        session (persistent-solver incremental\n"
+               "                    engine, default) | legacy (re-encode\n"
+               "                    every round; A/B reference)\n"
                "  --no-reuse        disable cross-entity solver pooling\n"
                "\n"
                "Common flags:\n"
@@ -132,6 +136,16 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next_value("--dataset");
       if (v == nullptr) return 2;
       opts->dataset = v;
+      continue;
+    }
+    if (arg == "--engine") {
+      const char* v = next_value("--engine");
+      if (v == nullptr) return 2;
+      if (std::string(v) != "session" && std::string(v) != "legacy") {
+        std::fprintf(stderr, "--engine wants session|legacy, got %s\n", v);
+        return 2;
+      }
+      opts->engine = v;
       continue;
     }
     if (arg == "--out") {
@@ -288,6 +302,7 @@ int RunShard(const CliOptions& o) {
   eopts.gamma_fraction = o.gamma_fraction;
   eopts.num_threads = o.threads;
   eopts.reuse_allocations = o.reuse_allocations;
+  eopts.resolve.use_session = o.engine == "session";
   const std::vector<int> indices = ShardIndices(
       static_cast<int>(ds.entities.size()), o.shard, o.num_shards);
   ExperimentResult result;
