@@ -11,7 +11,16 @@
 #   * the incremental-MaxSAT Suggest path reported non-identical results,
 #     performed any session rebuild (selector-guarded CFDs pin this at 0),
 #     or fell below its own speedup floor (CCR_BENCH_SUGGEST_FLOOR,
-#     default 1.3 — the full-size run measures >= 2x).
+#     default 1.3 — the full-size run measures >= 2x), or
+#   * the solver ablation (modern CDCL heuristics vs the legacy
+#     MiniSat-2003 configuration, on the solver-bound NaiveDeduce
+#     pipeline) reported non-identical resolutions or fell below its
+#     floor (CCR_BENCH_SOLVER_FLOOR, default 1.2 — the full-size run
+#     measures >= 5x).
+#
+# thread_scaling is only gated on multi-core runners: on a 1-core
+# container the bench reports "skipped": true (an N-thread run there
+# measures scheduling overhead, not scaling) and the gate accepts that.
 #
 # The JSON lands in BENCH_throughput.json (CI uploads it as an artifact —
 # the repo's perf trajectory across PRs).
@@ -27,18 +36,24 @@ export CCR_BENCH_TUPLES="${CCR_BENCH_TUPLES:-250}"
 export CCR_BENCH_THREADS="${CCR_BENCH_THREADS:-2}"
 FLOOR="${CCR_BENCH_SPEEDUP_FLOOR:-1.5}"
 SUGGEST_FLOOR="${CCR_BENCH_SUGGEST_FLOOR:-1.3}"
+SOLVER_FLOOR="${CCR_BENCH_SOLVER_FLOOR:-1.2}"
 
 scripts/bench.sh "${1:-build-bench}"
 
 echo
 echo "Gating BENCH_throughput.json (incremental floor: ${FLOOR}x," \
-     "suggest floor: ${SUGGEST_FLOOR}x)"
-jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" '
+     "suggest floor: ${SUGGEST_FLOOR}x, solver floor: ${SOLVER_FLOOR}x)"
+jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
+      --argjson solfloor "$SOLVER_FLOOR" '
   (.incremental.identical_results == true)
   and (.incremental.resolve_errors == 0)
   and (.suggest_incremental.identical_results == true)
   and (.suggest_incremental.session_rebuilds == 0)
-  and (.thread_scaling.deterministic == true)
+  and (.solver_ablation.identical_results == true)
+  and (.solver_ablation.resolve_errors == 0)
+  and (.solver_ablation.speedup >= $solfloor)
+  and ((.thread_scaling.skipped == true)
+       or (.thread_scaling.deterministic == true))
   and (.allocation_pooling.deterministic == true)
   and (.incremental.speedup >= $floor)
   and (.suggest_incremental.speedup >= $sfloor)
@@ -49,5 +64,6 @@ jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" '
 }
 echo "OK: incremental speedup $(jq .incremental.speedup BENCH_throughput.json)x," \
      "suggest speedup $(jq .suggest_incremental.speedup BENCH_throughput.json)x," \
+     "solver ablation speedup $(jq .solver_ablation.speedup BENCH_throughput.json)x," \
      "pooling speedup $(jq .allocation_pooling.speedup BENCH_throughput.json)x," \
      "all equivalence checks true"

@@ -8,10 +8,16 @@
 # multi-machine sharding a matter of scp'ing JSON files.
 #
 # Every run uses ccr_experiment's default engine — the persistent-solver
-# session engine (incremental MaxSAT Suggest, selector-guarded CFDs). As a
+# session engine (incremental MaxSAT Suggest, selector-guarded CFDs) with
+# the default modern solver heuristics, which means the cross-engine
+# byte-identity below runs with between-round inprocessing enabled. As a
 # second exactness gate, the single-process corpus is also resolved with
 # --engine legacy (re-encode every round) and must serialize to the same
-# bytes: the two engines are interchangeable, shard by shard.
+# bytes: the two engines are interchangeable, shard by shard. A third gate
+# does the same for the solver: --solver legacy (arena binaries, Luby
+# restarts, one-step minimization, no inprocessing, no model cache) must
+# be byte-identical too — the pipeline consumes only SAT verdicts, so
+# solver heuristics can never change a resolution.
 #
 # Usage: scripts/shard.sh [N] [build-dir]
 # Environment:
@@ -71,5 +77,17 @@ if cmp "$WORK_DIR/legacy.json" "$WORK_DIR/single.json"; then
 else
   echo "FAIL: legacy engine result differs from the session engine" >&2
   diff "$WORK_DIR/legacy.json" "$WORK_DIR/single.json" >&2 || true
+  exit 1
+fi
+
+echo "Cross-solver exactness: modern heuristics (default, inprocessing" \
+     "on) vs --solver legacy..."
+"$BIN" "${FLAGS[@]}" --solver legacy --no-timings \
+  --out "$WORK_DIR/legacy_solver.json"
+if cmp "$WORK_DIR/legacy_solver.json" "$WORK_DIR/single.json"; then
+  echo "OK: legacy-heuristics run is byte-identical to the modern run"
+else
+  echo "FAIL: legacy-heuristics result differs from the modern solver" >&2
+  diff "$WORK_DIR/legacy_solver.json" "$WORK_DIR/single.json" >&2 || true
   exit 1
 fi

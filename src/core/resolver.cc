@@ -48,6 +48,12 @@ class Engine {
   /// answered so far.
   virtual int64_t Rebuilds() const = 0;
   virtual int64_t AssumptionSolves() const = 0;
+
+  /// Cumulative statistics of the engine's persistent solver; Resolve
+  /// diffs these around each phase call to attribute solver work
+  /// (conflicts, binary propagations, inprocessing counters) per phase.
+  /// The legacy engine's throwaway solvers are not traced: all zeros.
+  virtual sat::SolverStats SolverStatsNow() const = 0;
 };
 
 // Legacy engine: re-grounds Ω(Se), rebuilds Φ(Se) and constructs fresh
@@ -92,6 +98,7 @@ class RebuildEngine : public Engine {
 
   int64_t Rebuilds() const override { return rebuilds_; }
   int64_t AssumptionSolves() const override { return 0; }
+  sat::SolverStats SolverStatsNow() const override { return {}; }
 
  private:
   ResolveOptions options_;
@@ -145,6 +152,10 @@ class SessionEngine : public Engine {
   int64_t AssumptionSolves() const override {
     return session_.has_value() ? session_->assumption_solves() : 0;
   }
+  sat::SolverStats SolverStatsNow() const override {
+    return session_.has_value() ? session_->solver_stats()
+                                : sat::SolverStats{};
+  }
 
  private:
   ResolveOptions options_;
@@ -182,15 +193,25 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
     prev_assumption_solves = assumption_solves;
   };
 
+  // Solver work of the ExtendWith that *produced* a round (clause feed +
+  // between-round Simplify, where inprocessing runs) is captured when the
+  // extension happens and stamped into the next round's trace — the same
+  // attribution rule encode_ms follows.
+  sat::SolverStats pending_extend_stats;
+
   for (int round = 0; round <= options.max_rounds; ++round) {
     RoundTrace trace;
     trace.round = round;
     CCR_RETURN_NOT_OK(engine->Encode(&trace.encode_ms));
+    trace.encode_solver = pending_extend_stats;
+    pending_extend_stats = {};
     const Instantiation& inst = engine->inst();
     Timer timer;
 
     // Step (1): validity.
+    sat::SolverStats phase_start = engine->SolverStatsNow();
     const ValidityResult validity = engine->CheckValidity();
+    trace.validity_solver = engine->SolverStatsNow() - phase_start;
     trace.validity_ms = timer.ElapsedMs();
     if (!validity.valid) {
       // Initial specification invalid (or a user's answer clashed with the
@@ -204,7 +225,9 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
 
     // Step (2): deduce true values.
     timer.Restart();
+    phase_start = engine->SolverStatsNow();
     const DeducedOrders od = engine->Deduce();
+    trace.deduce_solver = engine->SolverStatsNow() - phase_start;
     const std::vector<int> true_idx =
         ExtractTrueValueIndices(inst.varmap, od);
     trace.deduce_ms = timer.ElapsedMs();
@@ -237,10 +260,12 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
 
     // Step (4): suggestion + user input.
     timer.Restart();
+    phase_start = engine->SolverStatsNow();
     const std::vector<std::vector<int>> candidates =
         CandidateValues(inst.varmap, od);
     const Suggestion suggestion =
         engine->MakeSuggestion(candidates, true_idx);
+    trace.suggest_solver = engine->SolverStatsNow() - phase_start;
     trace.suggest_ms = timer.ElapsedMs();
     stamp_counters(&trace);
     result.trace.push_back(trace);
@@ -268,7 +293,9 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
         ot.orders.emplace_back(ans.attr, t, to_index);
       }
     }
+    phase_start = engine->SolverStatsNow();
     CCR_RETURN_NOT_OK(engine->Extend(ot));
+    pending_extend_stats = engine->SolverStatsNow() - phase_start;
   }
 
   return result;

@@ -84,6 +84,16 @@ struct RoundTrace {
   /// guards, NaiveDeduce implication checks, incremental-MaxSAT steps).
   /// 0 for the legacy engine, whose throwaway solvers are not traced.
   int64_t num_assumption_solves = 0;
+  /// Per-phase session-solver statistics deltas (conflicts, binary
+  /// propagations, glue sums, learnt-tier and inprocessing counters).
+  /// `encode_solver` covers the extension that produced this round —
+  /// clause feeding plus the between-round Simplify, which is where the
+  /// inprocessing (subsumed/vivified) counters accrue. All four are zero
+  /// for the legacy engine, whose throwaway solvers are not traced.
+  sat::SolverStats encode_solver;
+  sat::SolverStats validity_solver;
+  sat::SolverStats deduce_solver;
+  sat::SolverStats suggest_solver;
 };
 
 /// Final state of a resolution run.

@@ -74,6 +74,10 @@ Result<ResolutionSession> ResolutionSession::Create(
       Instantiation::BuildInto(s.spec_, s.inst_, SessionGroundingOptions()));
   BuildCnfInto(*s.inst_, s.cnf_);
   s.FeedSolver();
+  // Inprocessing cadence: the freshly built Φ(Se) is the baseline; every
+  // ExtendWith ends in a Simplify() that vivifies and backward-subsumes
+  // exactly the round's appended delta against the whole database.
+  if (s.options_.solver.use_inprocessing) s.solver_->PrimeInprocessing();
   s.last_encode_ms_ = timer.ElapsedMs();
   return s;
 }

@@ -115,6 +115,11 @@ class ResolutionSession {
   int64_t assumption_solves() const {
     return solver_->stats().assumption_solves;
   }
+  /// Cumulative statistics of the session solver. Resolve diffs these
+  /// around each phase call to stamp per-phase deltas (binary
+  /// propagations, glue sums, tier/inprocessing counters) into the
+  /// RoundTrace.
+  const sat::SolverStats& solver_stats() const { return solver_->stats(); }
 
  private:
   ResolutionSession() = default;

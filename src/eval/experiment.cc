@@ -103,6 +103,10 @@ ExperimentResult RunExperiment(const Dataset& ds,
       out.validity_ms += t.validity_ms;
       out.deduce_ms += t.deduce_ms;
       out.suggest_ms += t.suggest_ms;
+      out.solver_encode += t.encode_solver;
+      out.solver_validity += t.validity_solver;
+      out.solver_deduce += t.deduce_solver;
+      out.solver_suggest += t.suggest_solver;
     }
     // Accuracy after exactly k rounds; if the run ended earlier the final
     // state carries forward (the entity is finished).

@@ -53,6 +53,15 @@ struct ExperimentResult {
   double validity_ms = 0;
   double deduce_ms = 0;
   double suggest_ms = 0;
+  /// Pooled per-phase session-solver statistics across rounds and
+  /// entities (the RoundTrace deltas summed). Zero for the legacy engine.
+  /// Diagnostics only: deliberately NOT part of the serialized
+  /// ExperimentResult JSON, so shard/engine byte-identity is unaffected;
+  /// `ccr_experiment --solver-stats` dumps them on stderr.
+  sat::SolverStats solver_encode;
+  sat::SolverStats solver_validity;
+  sat::SolverStats solver_deduce;
+  sat::SolverStats solver_suggest;
   int entities = 0;
   int invalid_entities = 0;
   /// Maximum interaction rounds any entity actually used.

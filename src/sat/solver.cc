@@ -7,21 +7,43 @@
 
 namespace ccr::sat {
 
+namespace {
+
+// Glucose-style restart tuning: restart when the short-term glue average
+// exceeds the long-term one by this margin, but never within the first
+// kEmaMinConflicts conflicts of a restart (the EMAs need samples first).
+constexpr double kEmaFastAlpha = 1.0 / 32.0;
+constexpr double kEmaSlowAlpha = 1.0 / 4096.0;
+constexpr double kEmaRestartMargin = 1.25;
+constexpr int64_t kEmaMinConflicts = 32;
+
+// Inprocessing budgets per Simplify() call, so the between-round pass
+// stays a small fraction of the round's solve time even on the first call
+// (which sees the whole initial encoding, not just a delta).
+constexpr int64_t kSubsumptionStepBudget = 2'000'000;  // literal compares
+constexpr int64_t kVivifyPropBudget = 200'000;         // trail literals
+
+}  // namespace
+
 Solver::Solver(SolverOptions options) : options_(options) {}
 
 Var Solver::NewVar() {
   const Var v = static_cast<Var>(assigns_.size());
   assigns_.push_back(Lbool::kUndef);
   polarity_.push_back(false);
+  frozen_.push_back(0);
   level_.push_back(0);
   reason_.push_back(kRefUndef);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(0);
-  // 2 watch lists per var; after a Reset the lists (already cleared) are
-  // still there and keep their buffers.
+  // 2 watch lists (and 2 binary implication lists) per var; after a Reset
+  // the lists (already cleared) are still there and keep their buffers.
   while (watches_.size() < 2 * static_cast<size_t>(v) + 2) {
     watches_.emplace_back();
+  }
+  while (bins_.size() < 2 * static_cast<size_t>(v) + 2) {
+    bins_.emplace_back();
   }
   HeapInsert(v);
   return v;
@@ -34,34 +56,60 @@ void Solver::Reset(SolverOptions options) {
   ok_ = true;
   arena_.clear();
   clauses_.clear();
-  learnts_.clear();
-  // Keep the outer vector (and each inner list's buffer); NewVar re-adopts
+  learnts_core_.clear();
+  learnts_mid_.clear();
+  learnts_local_.clear();
+  // Keep the outer vectors (and each inner list's buffer); NewVar re-adopts
   // the lists as the variable universe regrows.
   for (std::vector<Watcher>& ws : watches_) ws.clear();
+  for (std::vector<Lit>& bs : bins_) bs.clear();
+  learnt_binaries_.clear();
+  bin_conflict_[0] = bin_conflict_[1] = kLitUndef;
   assigns_.clear();
   polarity_.clear();
+  frozen_.clear();
   level_.clear();
   reason_.clear();
   trail_.clear();
   trail_lim_.clear();
   qhead_ = 0;
+  bhead_ = 0;
   activity_.clear();
   var_inc_ = 1.0;
   clause_inc_ = 1.0;
   heap_.clear();
   heap_pos_.clear();
   seen_.clear();
+  analyze_stack_.clear();
+  analyze_toclear_.clear();
+  lbd_stamp_.clear();
+  lbd_counter_ = 0;
   model_.clear();
   conflict_core_.clear();
+  ema_fast_ = 0;
+  ema_slow_ = 0;
+  ema_seeded_ = false;
+  conflicts_since_restart_ = 0;
   max_learnts_ = 0;
+  reduce_calls_ = 0;
+  fresh_clause_count_ = 0;
+  pending_bins_.clear();
+  vivify_primed_ = false;
+  model_fresh_ = false;
+  model_pool_.clear();
+  model_pool_next_ = 0;
 }
 
 Solver::ClauseRef Solver::AllocClause(const std::vector<Lit>& lits,
                                       bool learnt) {
   const ClauseRef ref = static_cast<ClauseRef>(arena_.size());
-  arena_.push_back((static_cast<uint32_t>(lits.size()) << 1) |
+  // Arena references must leave bit 31 free for the literal-encoded
+  // binary reasons.
+  CCR_CHECK(ref < kRefBinaryFlag);
+  arena_.push_back((static_cast<uint32_t>(lits.size()) << 3) |
                    (learnt ? 1u : 0u));
   arena_.push_back(0);  // activity bits
+  arena_.push_back(0);  // LBD
   for (Lit l : lits) {
     arena_.push_back(static_cast<uint32_t>(l.index()));
   }
@@ -89,9 +137,15 @@ void Solver::DetachClause(ClauseRef c) {
   }
 }
 
+void Solver::AttachBinary(Lit a, Lit b) {
+  bins_[(~a).index()].push_back(b);
+  bins_[(~b).index()].push_back(a);
+}
+
 bool Solver::AddClause(std::vector<Lit> lits) {
   if (!ok_) return false;
   CCR_DCHECK(DecisionLevel() == 0);
+  InvalidateModelCache();
   for (Lit l : lits) {
     while (l.var() >= num_vars()) NewVar();
   }
@@ -117,8 +171,18 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     ok_ = (Propagate() == kRefUndef);
     return ok_;
   }
+  if (out.size() == 2 && options_.use_binary_watches) {
+    // Binaries never touch the arena: they live in the implicit
+    // implication lists and propagate with literal-encoded reasons.
+    AttachBinary(out[0], out[1]);
+    if (options_.use_inprocessing) {
+      pending_bins_.emplace_back(out[0], out[1]);
+    }
+    return true;
+  }
   const ClauseRef c = AllocClause(out, /*learnt=*/false);
   clauses_.push_back(c);
+  ++fresh_clause_count_;
   AttachClause(c);
   return true;
 }
@@ -144,7 +208,28 @@ void Solver::UncheckedEnqueue(Lit p, ClauseRef from) {
 
 Solver::ClauseRef Solver::Propagate() {
   ClauseRef conflict = kRefUndef;
+  const bool use_bins = options_.use_binary_watches;
   while (qhead_ < trail_.size()) {
+    if (use_bins) {
+      // Binary-first BFS: drain every pending binary implication before
+      // touching a long clause. Binaries resolve with one contiguous list
+      // scan — no arena access, no watcher juggling.
+      while (bhead_ < trail_.size()) {
+        const Lit bp = trail_[bhead_++];
+        for (const Lit q : bins_[bp.index()]) {
+          const Lbool v = ValueOf(q);
+          if (v == Lbool::kTrue) continue;
+          if (v == Lbool::kFalse) {
+            bin_conflict_[0] = q;
+            bin_conflict_[1] = ~bp;
+            qhead_ = bhead_ = trail_.size();
+            return kRefBinConflict;
+          }
+          ++stats_.binary_propagations;
+          UncheckedEnqueue(q, MakeBinaryRef(~bp));
+        }
+      }
+    }
     const Lit p = trail_[qhead_++];
     ++stats_.propagations;
     auto& ws = watches_[p.index()];
@@ -184,7 +269,7 @@ Solver::ClauseRef Solver::Propagate() {
       ws[j++] = {c, lits[0]};
       if (ValueOf(lits[0]) == Lbool::kFalse) {
         conflict = c;
-        qhead_ = trail_.size();
+        qhead_ = bhead_ = trail_.size();
         while (i < n) ws[j++] = ws[i++];
       } else {
         UncheckedEnqueue(lits[0], c);
@@ -209,13 +294,32 @@ void Solver::ClauseBump(ClauseRef c) {
   float& act = ClauseActivity(c);
   act += static_cast<float>(clause_inc_);
   if (act > 1e20f) {
-    for (ClauseRef l : learnts_) ClauseActivity(l) *= 1e-20f;
+    for (ClauseRef l : learnts_core_) ClauseActivity(l) *= 1e-20f;
+    for (ClauseRef l : learnts_mid_) ClauseActivity(l) *= 1e-20f;
+    for (ClauseRef l : learnts_local_) ClauseActivity(l) *= 1e-20f;
     clause_inc_ *= 1e-20;
   }
 }
 
+int Solver::ComputeLbd(std::span<const Lit> lits) {
+  if (lbd_stamp_.size() < trail_lim_.size() + 1) {
+    lbd_stamp_.resize(trail_lim_.size() + 1, 0);
+  }
+  ++lbd_counter_;
+  int lbd = 0;
+  for (Lit l : lits) {
+    const int lev = level_[l.var()];
+    if (lev == 0) continue;
+    if (lbd_stamp_[lev] != lbd_counter_) {
+      lbd_stamp_[lev] = lbd_counter_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
-                     int* out_btlevel) {
+                     int* out_btlevel, int* out_lbd) {
   int path_count = 0;
   Lit p = kLitUndef;
   out_learnt->clear();
@@ -225,9 +329,38 @@ void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
   ClauseRef c = conflict;
   do {
     CCR_DCHECK(c != kRefUndef);
-    if (ClauseLearnt(c)) ClauseBump(c);
-    const Lit* lits = ClauseLits(c);
-    const int size = ClauseSize(c);
+    Lit bin_buf[2];
+    const Lit* lits;
+    int size;
+    if (c == kRefBinConflict) {
+      bin_buf[0] = bin_conflict_[0];
+      bin_buf[1] = bin_conflict_[1];
+      lits = bin_buf;
+      size = 2;
+    } else if (RefIsBinary(c)) {
+      // Reason clause of p is (p ∨ other); position 0 mirrors the arena
+      // invariant that lits[0] is the asserting literal.
+      bin_buf[0] = p;
+      bin_buf[1] = RefLit(c);
+      lits = bin_buf;
+      size = 2;
+    } else {
+      if (ClauseLearnt(c)) {
+        ClauseBump(c);
+        if (options_.use_lbd_tiers) {
+          // Glucose-style dynamic glue: a learnt clause participating in
+          // analysis refreshes its LBD; improvements promote it at the
+          // next ReduceDb.
+          const int now = ComputeLbd(
+              std::span<const Lit>(ClauseLits(c), ClauseSize(c)));
+          if (now > 0 && static_cast<uint32_t>(now) < ClauseLbd(c)) {
+            SetClauseLbd(c, static_cast<uint32_t>(now));
+          }
+        }
+      }
+      lits = ClauseLits(c);
+      size = ClauseSize(c);
+    }
     for (int k = (p == kLitUndef) ? 0 : 1; k < size; ++k) {
       const Lit q = lits[k];
       const Var v = q.var();
@@ -253,24 +386,49 @@ void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
 
   // Conflict-clause minimization: drop literals implied by the rest.
   std::vector<Lit>& learnt = *out_learnt;
+  analyze_toclear_.clear();
   size_t keep = 1;
-  for (size_t k = 1; k < learnt.size(); ++k) {
-    const Var v = learnt[k].var();
-    const ClauseRef r = reason_[v];
-    bool redundant = false;
-    if (r != kRefUndef) {
-      redundant = true;
-      const Lit* rl = ClauseLits(r);
-      const int rs = ClauseSize(r);
-      for (int m = 1; m < rs; ++m) {
-        const Var w = rl[m].var();
-        if (!seen_[w] && level_[w] > 0) {
-          redundant = false;
-          break;
-        }
+  if (options_.use_deep_ccmin) {
+    // Recursive (deep) minimization: a literal is redundant if every
+    // antecedent chain from it bottoms out in other learnt literals (or
+    // level 0). The abstract-level filter prunes chains that could only
+    // fail.
+    uint32_t abstract_levels = 0;
+    for (size_t k = 1; k < learnt.size(); ++k) {
+      abstract_levels |= 1u << (level_[learnt[k].var()] & 31);
+    }
+    for (size_t k = 1; k < learnt.size(); ++k) {
+      if (reason_[learnt[k].var()] == kRefUndef ||
+          !LitRedundant(learnt[k], abstract_levels)) {
+        learnt[keep++] = learnt[k];
       }
     }
-    if (!redundant) learnt[keep++] = learnt[k];
+  } else {
+    // One-step check: redundant if the reason's other literals are all
+    // already in the learnt clause (or level 0).
+    for (size_t k = 1; k < learnt.size(); ++k) {
+      const Var v = learnt[k].var();
+      const ClauseRef r = reason_[v];
+      bool redundant = false;
+      if (r != kRefUndef) {
+        if (RefIsBinary(r)) {
+          const Lit other = RefLit(r);
+          redundant = seen_[other.var()] || level_[other.var()] == 0;
+        } else {
+          redundant = true;
+          const Lit* rl = ClauseLits(r);
+          const int rs = ClauseSize(r);
+          for (int m = 1; m < rs; ++m) {
+            const Var w = rl[m].var();
+            if (!seen_[w] && level_[w] > 0) {
+              redundant = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!redundant) learnt[keep++] = learnt[k];
+    }
   }
   stats_.learnt_literals += static_cast<int64_t>(keep);
   for (size_t k = keep; k < learnt.size(); ++k) seen_[learnt[k].var()] = 0;
@@ -287,7 +445,54 @@ void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
     std::swap(learnt[1], learnt[max_i]);
     *out_btlevel = level_[learnt[1].var()];
   }
+  *out_lbd = ComputeLbd(std::span<const Lit>(learnt.data(), learnt.size()));
   for (Lit l : learnt) seen_[l.var()] = 0;
+  for (Lit l : analyze_toclear_) seen_[l.var()] = 0;
+  analyze_toclear_.clear();
+}
+
+bool Solver::LitRedundant(Lit p, uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(p);
+  const size_t top = analyze_toclear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit q = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef r = reason_[q.var()];
+    CCR_DCHECK(r != kRefUndef);
+    // Antecedents of q: the reason clause minus q's own (asserting)
+    // literal — for a binary reason that is exactly the encoded literal.
+    Lit bin_other = kLitUndef;
+    const Lit* lits;
+    int size;
+    if (RefIsBinary(r)) {
+      bin_other = RefLit(r);
+      lits = &bin_other;
+      size = 1;
+    } else {
+      lits = ClauseLits(r) + 1;
+      size = ClauseSize(r) - 1;
+    }
+    for (int k = 0; k < size; ++k) {
+      const Lit l = lits[k];
+      const Var v = l.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      if (reason_[v] != kRefUndef &&
+          ((1u << (level_[v] & 31)) & abstract_levels) != 0) {
+        seen_[v] = 1;
+        analyze_stack_.push_back(l);
+        analyze_toclear_.push_back(l);
+      } else {
+        // Not removable: undo the marks this call added.
+        for (size_t j = top; j < analyze_toclear_.size(); ++j) {
+          seen_[analyze_toclear_[j].var()] = 0;
+        }
+        analyze_toclear_.resize(top);
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* out_core) {
@@ -302,6 +507,9 @@ void Solver::AnalyzeFinal(Lit p, std::vector<Lit>* out_core) {
     const ClauseRef r = reason_[v];
     if (r == kRefUndef) {
       if (level_[v] > 0) out_core->push_back(~trail_[i]);
+    } else if (RefIsBinary(r)) {
+      const Lit other = RefLit(r);
+      if (level_[other.var()] > 0) seen_[other.var()] = 1;
     } else {
       const Lit* lits = ClauseLits(r);
       const int size = ClauseSize(r);
@@ -327,11 +535,15 @@ void Solver::CancelUntil(int target) {
   trail_.resize(trail_lim_[target]);
   trail_lim_.resize(target);
   qhead_ = trail_.size();
+  bhead_ = qhead_;
 }
 
 // --- decision heap -------------------------------------------------------
 
 void Solver::HeapInsert(Var v) {
+  // Released scope variables are frozen false at level 0 and must never
+  // come back as decision candidates.
+  CCR_DCHECK(!frozen_[v]);
   heap_pos_[v] = static_cast<int>(heap_.size());
   heap_.push_back(v);
   HeapDecrease(v);
@@ -395,20 +607,62 @@ Lit Solver::PickBranchLit() {
     }
   }
   if (next == kVarUndef) return kLitUndef;
+  CCR_DCHECK(!frozen_[next]);
   return Lit(next, polarity_[next]);
 }
 
+void Solver::RecordLearnt(const std::vector<Lit>& learnt, int lbd) {
+  stats_.lbd_sum += lbd;
+  if (learnt.size() == 1) {
+    UncheckedEnqueue(learnt[0], kRefUndef);
+    return;
+  }
+  if (learnt.size() == 2 && options_.use_binary_watches) {
+    AttachBinary(learnt[0], learnt[1]);
+    // Recorded only for the LearntClauses() debug accessor; capped so a
+    // conflict-heavy production solve cannot grow it without bound.
+    if (learnt_binaries_.size() < 4096) {
+      learnt_binaries_.emplace_back(learnt[0], learnt[1]);
+    }
+    ++stats_.learnt_core;  // binaries are kept forever by construction
+    UncheckedEnqueue(learnt[0], MakeBinaryRef(learnt[1]));
+    return;
+  }
+  const ClauseRef c = AllocClause(learnt, /*learnt=*/true);
+  SetClauseLbd(c, static_cast<uint32_t>(std::max(lbd, 1)));
+  if (options_.use_lbd_tiers) {
+    if (lbd <= 2) {
+      learnts_core_.push_back(c);
+      ++stats_.learnt_core;
+    } else if (lbd <= 6) {
+      learnts_mid_.push_back(c);
+      ++stats_.learnt_mid;
+    } else {
+      learnts_local_.push_back(c);
+      ++stats_.learnt_local;
+    }
+  } else {
+    learnts_local_.push_back(c);
+    ++stats_.learnt_local;
+  }
+  AttachClause(c);
+  ClauseBump(c);
+  UncheckedEnqueue(learnt[0], c);
+}
+
 void Solver::ReduceDb() {
-  // Keep the most active half of learnt clauses; never drop reasons.
-  std::sort(learnts_.begin(), learnts_.end(),
+  // Legacy single-tier reduction: keep the most active half of learnt
+  // clauses; never drop reasons.
+  std::vector<ClauseRef>& learnts = learnts_local_;
+  std::sort(learnts.begin(), learnts.end(),
             [this](ClauseRef a, ClauseRef b) {
               return ClauseActivity(a) > ClauseActivity(b);
             });
-  size_t keep = learnts_.size() / 2;
+  size_t keep = learnts.size() / 2;
   std::vector<ClauseRef> kept;
   kept.reserve(keep + 16);
-  for (size_t i = 0; i < learnts_.size(); ++i) {
-    const ClauseRef c = learnts_[i];
+  for (size_t i = 0; i < learnts.size(); ++i) {
+    const ClauseRef c = learnts[i];
     const Lit first = ClauseLits(c)[0];
     const bool is_reason = assigns_[first.var()] != Lbool::kUndef &&
                            reason_[first.var()] == c;
@@ -418,12 +672,82 @@ void Solver::ReduceDb() {
       DetachClause(c);
     }
   }
-  learnts_.swap(kept);
+  learnts.swap(kept);
+}
+
+void Solver::ReduceDbTiered() {
+  ++reduce_calls_;
+  auto is_reason = [this](ClauseRef c) {
+    const Lit first = ClauseLits(c)[0];
+    return assigns_[first.var()] != Lbool::kUndef &&
+           reason_[first.var()] == c;
+  };
+  // Promote by improved glue (LBDs refreshed during conflict analysis):
+  // glue <= 2 graduates to core from either tier, glue <= 6 lifts local
+  // clauses into mid.
+  auto promote = [&](std::vector<ClauseRef>* list, bool from_local) {
+    size_t j = 0;
+    for (ClauseRef c : *list) {
+      const uint32_t lbd = ClauseLbd(c);
+      if (lbd <= 2) {
+        learnts_core_.push_back(c);
+      } else if (from_local && lbd <= 6) {
+        learnts_mid_.push_back(c);
+      } else {
+        (*list)[j++] = c;
+      }
+    }
+    list->resize(j);
+  };
+  promote(&learnts_mid_, /*from_local=*/false);
+  promote(&learnts_local_, /*from_local=*/true);
+
+  // Local tier: activity-sorted, keep the better half (plus reasons).
+  std::sort(learnts_local_.begin(), learnts_local_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              return ClauseActivity(a) > ClauseActivity(b);
+            });
+  const size_t local_keep = learnts_local_.size() / 2;
+  std::vector<ClauseRef> kept;
+  kept.reserve(local_keep + 16);
+  for (size_t i = 0; i < learnts_local_.size(); ++i) {
+    const ClauseRef c = learnts_local_[i];
+    if (i < local_keep || is_reason(c)) {
+      kept.push_back(c);
+    } else {
+      DetachClause(c);
+    }
+  }
+  learnts_local_.swap(kept);
+
+  // Mid tier: reduced rarely, by glue then activity.
+  if (reduce_calls_ % 3 == 0 && learnts_mid_.size() > 16) {
+    std::sort(learnts_mid_.begin(), learnts_mid_.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                if (ClauseLbd(a) != ClauseLbd(b)) {
+                  return ClauseLbd(a) < ClauseLbd(b);
+                }
+                return ClauseActivity(a) > ClauseActivity(b);
+              });
+    const size_t mid_keep = learnts_mid_.size() / 2;
+    kept.clear();
+    kept.reserve(mid_keep + 16);
+    for (size_t i = 0; i < learnts_mid_.size(); ++i) {
+      const ClauseRef c = learnts_mid_[i];
+      if (i < mid_keep || is_reason(c)) {
+        kept.push_back(c);
+      } else {
+        DetachClause(c);
+      }
+    }
+    learnts_mid_.swap(kept);
+  }
 }
 
 void Solver::SweepSatisfied(std::vector<ClauseRef>* list) {
   size_t j = 0;
   for (ClauseRef c : *list) {
+    if (ClauseDead(c)) continue;  // removed by inprocessing, already detached
     const Lit* lits = ClauseLits(c);
     const int size = ClauseSize(c);
     bool satisfied = false;
@@ -439,7 +763,34 @@ void Solver::SweepSatisfied(std::vector<ClauseRef>* list) {
   list->resize(j);
 }
 
-void Solver::RemoveSatisfiedTopLevel() { SweepSatisfied(&learnts_); }
+void Solver::RemoveSatisfiedTopLevel() {
+  SweepSatisfied(&learnts_core_);
+  SweepSatisfied(&learnts_mid_);
+  SweepSatisfied(&learnts_local_);
+}
+
+void Solver::SweepBinaries() {
+  // An entry (p -> q) is dead once either variable is fixed at level 0:
+  // p fixed means the list is never scanned again (or was fully
+  // propagated), q fixed true means the clause is satisfied, and q fixed
+  // false implies p's var was fixed by the same propagation. This is what
+  // sweeps the binary clauses of released ScopedVars scopes.
+  CCR_DCHECK(DecisionLevel() == 0);
+  for (size_t i = 0; i < bins_.size(); ++i) {
+    std::vector<Lit>& list = bins_[i];
+    if (list.empty()) continue;
+    const Lit p = Lit::FromIndex(static_cast<int32_t>(i));
+    if (assigns_[p.var()] != Lbool::kUndef) {
+      list.clear();
+      continue;
+    }
+    size_t j = 0;
+    for (Lit q : list) {
+      if (assigns_[q.var()] == Lbool::kUndef) list[j++] = q;
+    }
+    list.resize(j);
+  }
+}
 
 bool Solver::Simplify() {
   CCR_DCHECK(DecisionLevel() == 0);
@@ -448,9 +799,67 @@ bool Solver::Simplify() {
     ok_ = false;
     return false;
   }
-  SweepSatisfied(&learnts_);
+  RemoveSatisfiedTopLevel();
   SweepSatisfied(&clauses_);
-  return true;
+  if (options_.use_binary_watches) SweepBinaries();
+  if (options_.use_inprocessing) {
+    SubsumptionPass();
+    if (ok_) VivificationPass();
+  }
+  return ok_;
+}
+
+void Solver::PrimeInprocessing() {
+  for (ClauseRef c : clauses_) SetClauseVivified(c, true);
+  vivify_primed_ = true;
+  fresh_clause_count_ = 0;
+  pending_bins_.clear();
+}
+
+bool Solver::FreezeScope(Lit activation, std::span<const Var> vars) {
+  if (!ok_) return false;
+  CCR_DCHECK(DecisionLevel() == 0);
+  InvalidateModelCache();
+  // One batched multi-literal pass: enqueue ¬activation and every ¬v,
+  // then run a single propagation fixpoint — instead of one unit clause
+  // (each with its own propagation round) per variable.
+  const Lit neg_act = ~activation;
+  const Lbool av = ValueOf(neg_act);
+  if (av == Lbool::kFalse) {
+    ok_ = false;
+    return false;
+  }
+  if (av == Lbool::kUndef) UncheckedEnqueue(neg_act, kRefUndef);
+  frozen_[activation.var()] = 1;
+  for (Var v : vars) {
+    const Lbool val = assigns_[v];
+    if (val == Lbool::kTrue) {
+      // A scope var fixed true at level 0 means the formula already
+      // contradicts the freeze — only possible if it is UNSAT.
+      ok_ = false;
+      return false;
+    }
+    if (val == Lbool::kUndef) UncheckedEnqueue(Lit::Neg(v), kRefUndef);
+    frozen_[v] = 1;
+  }
+  ok_ = (Propagate() == kRefUndef);
+  return ok_;
+}
+
+std::vector<std::vector<Lit>> Solver::LearntClauses() const {
+  std::vector<std::vector<Lit>> out;
+  for (const std::vector<ClauseRef>* list :
+       {&learnts_core_, &learnts_mid_, &learnts_local_}) {
+    for (ClauseRef c : *list) {
+      if (ClauseDead(c)) continue;
+      const Lit* lits = ClauseLits(c);
+      out.emplace_back(lits, lits + ClauseSize(c));
+    }
+  }
+  for (const auto& [a, b] : learnt_binaries_) {
+    out.push_back({a, b});
+  }
+  return out;
 }
 
 int64_t Solver::Luby(int64_t i) {
@@ -473,33 +882,45 @@ SolveResult Solver::Search(int64_t conflict_budget,
     if (conflict != kRefUndef) {
       ++stats_.conflicts;
       ++conflicts_here;
+      ++conflicts_since_restart_;
       if (DecisionLevel() == 0) {
         ok_ = false;
         return SolveResult::kUnsat;
       }
       int bt_level = 0;
-      Analyze(conflict, &learnt, &bt_level);
+      int lbd = 0;
+      Analyze(conflict, &learnt, &bt_level, &lbd);
+      if (!ema_seeded_) {
+        // Seed both averages with the first sample: from 0, the slow EMA
+        // would stay near 0 for thousands of conflicts and the restart
+        // test would degenerate to a fixed 32-conflict cadence.
+        ema_seeded_ = true;
+        ema_fast_ = ema_slow_ = static_cast<double>(lbd);
+      } else {
+        ema_fast_ += (static_cast<double>(lbd) - ema_fast_) * kEmaFastAlpha;
+        ema_slow_ += (static_cast<double>(lbd) - ema_slow_) * kEmaSlowAlpha;
+      }
       // Backjumping may pop assumption pseudo-decisions; the
       // honor-assumptions step below re-establishes them, and an
       // assumption forced false there yields kUnsat with a core.
       CancelUntil(bt_level);
-      if (learnt.size() == 1) {
-        UncheckedEnqueue(learnt[0], kRefUndef);
-      } else {
-        const ClauseRef c = AllocClause(learnt, /*learnt=*/true);
-        learnts_.push_back(c);
-        AttachClause(c);
-        ClauseBump(c);
-        UncheckedEnqueue(learnt[0], c);
-      }
+      RecordLearnt(learnt, lbd);
       VarDecay();
       ClauseDecay();
       continue;
     }
 
     // No conflict.
-    if (options_.use_restarts && conflict_budget >= 0 &&
-        conflicts_here >= conflict_budget) {
+    bool restart = false;
+    if (options_.use_restarts) {
+      if (options_.use_ema_restarts) {
+        restart = conflicts_since_restart_ >= kEmaMinConflicts &&
+                  ema_fast_ > kEmaRestartMargin * ema_slow_;
+      } else {
+        restart = conflict_budget >= 0 && conflicts_here >= conflict_budget;
+      }
+    }
+    if (restart) {
       CancelUntil(0);
       return SolveResult::kUnknown;  // restart
     }
@@ -510,8 +931,12 @@ SolveResult Solver::Search(int64_t conflict_budget,
     }
     if (DecisionLevel() == 0) RemoveSatisfiedTopLevel();
     if (options_.use_clause_deletion &&
-        static_cast<double>(learnts_.size()) >= max_learnts_) {
-      ReduceDb();
+        static_cast<double>(NumReducibleLearnts()) >= max_learnts_) {
+      if (options_.use_lbd_tiers) {
+        ReduceDbTiered();
+      } else {
+        ReduceDb();
+      }
       max_learnts_ *= 1.1;
     }
 
@@ -534,6 +959,7 @@ SolveResult Solver::Search(int64_t conflict_budget,
       next = PickBranchLit();
       if (next == kLitUndef) {
         // All variables assigned: model found.
+        CacheCurrentModel();
         model_.assign(assigns_.begin(), assigns_.end());
         return SolveResult::kSat;
       }
@@ -544,9 +970,49 @@ SolveResult Solver::Search(int64_t conflict_budget,
   }
 }
 
+void Solver::CacheCurrentModel() {
+  if (!options_.use_model_cache) return;
+  if (model_fresh_ && !model_.empty()) {
+    // Rotate the previous newest model into the ring.
+    if (model_pool_.size() < kModelPoolSize) {
+      model_pool_.push_back(model_);
+    } else {
+      model_pool_[model_pool_next_] = model_;
+      model_pool_next_ = (model_pool_next_ + 1) % kModelPoolSize;
+    }
+  }
+  model_fresh_ = true;
+}
+
 SolveResult Solver::SolveInternal(std::span<const Lit> assumptions) {
   const SolverStats before = stats_;
   if (!assumptions.empty()) ++stats_.assumption_solves;
+  // Witness reuse: a recent model satisfying every assumption already
+  // decides the call — kSat, with that model, zero search.
+  if (options_.use_model_cache && ok_) {
+    bool hit = false;
+    if (model_fresh_ && ModelWitnesses(model_, assumptions)) {
+      hit = true;  // model_ stays the answer
+    } else {
+      for (size_t k = model_pool_.size(); k-- > 0 && !hit;) {
+        if (ModelWitnesses(model_pool_[k], assumptions)) {
+          // Trade places: the witness becomes model_, the displaced
+          // newest model stays cached in the witness's slot. (Rotating
+          // via CacheCurrentModel here could overwrite the very slot
+          // being read when the ring is full.)
+          std::swap(model_, model_pool_[k]);
+          model_fresh_ = true;
+          hit = true;
+        }
+      }
+    }
+    if (hit) {
+      ++stats_.model_cache_hits;
+      conflict_core_.clear();
+      last_call_ = stats_ - before;
+      return SolveResult::kSat;
+    }
+  }
   const SolveResult r = SolveLoop(assumptions);
   last_call_ = stats_ - before;
   return r;
@@ -561,11 +1027,17 @@ SolveResult Solver::SolveLoop(std::span<const Lit> assumptions) {
   CancelUntil(0);
   max_learnts_ =
       std::max(1000.0, static_cast<double>(clauses_.size()) / 3.0);
+  ema_fast_ = 0;
+  ema_slow_ = 0;
+  ema_seeded_ = false;
+  conflicts_since_restart_ = 0;
 
   int64_t restart_round = 0;
   while (true) {
     const int64_t budget =
-        options_.use_restarts ? 100 * Luby(restart_round) : -1;
+        (options_.use_restarts && !options_.use_ema_restarts)
+            ? 100 * Luby(restart_round)
+            : -1;
     const SolveResult r = Search(budget, assumptions);
     if (r != SolveResult::kUnknown) {
       CancelUntil(0);
@@ -578,7 +1050,280 @@ SolveResult Solver::SolveLoop(std::span<const Lit> assumptions) {
     }
     ++restart_round;
     ++stats_.restarts;
+    conflicts_since_restart_ = 0;
   }
+}
+
+// --- inprocessing --------------------------------------------------------
+
+void Solver::ShrinkClause(ClauseRef c, std::span<const Lit> lits) {
+  // `c` is detached. Re-home the shortened clause by its new size.
+  if (lits.empty()) {
+    MarkClauseDead(c);
+    ok_ = false;
+    return;
+  }
+  if (lits.size() == 1) {
+    MarkClauseDead(c);
+    const Lbool v = ValueOf(lits[0]);
+    if (v == Lbool::kFalse) {
+      ok_ = false;
+    } else if (v == Lbool::kUndef) {
+      UncheckedEnqueue(lits[0], kRefUndef);  // propagated by the caller
+    }
+    return;
+  }
+  Lit* dst = ClauseLits(c);
+  std::copy(lits.begin(), lits.end(), dst);
+  SetClauseSize(c, static_cast<int>(lits.size()));
+  SetClauseVivified(c, false);  // a changed clause is worth revisiting
+  if (lits.size() == 2 && options_.use_binary_watches) {
+    MarkClauseDead(c);  // migrated out of the arena into the bin lists
+    AttachBinary(lits[0], lits[1]);
+    return;
+  }
+  AttachClause(c);
+}
+
+void Solver::StrengthenClause(ClauseRef c, Lit l) {
+  DetachClause(c);
+  std::vector<Lit> out;
+  const Lit* lits = ClauseLits(c);
+  const int size = ClauseSize(c);
+  out.reserve(static_cast<size_t>(size) - 1);
+  bool satisfied = false;
+  for (int k = 0; k < size && !satisfied; ++k) {
+    const Lit x = lits[k];
+    if (x == l) continue;
+    const Lbool v = ValueOf(x);
+    if (v == Lbool::kTrue) satisfied = true;
+    if (v == Lbool::kUndef) out.push_back(x);
+    // Level-0 false literals are dropped along the way.
+  }
+  if (satisfied) {
+    MarkClauseDead(c);
+    return;
+  }
+  ShrinkClause(c, out);
+}
+
+void Solver::SubsumptionPass() {
+  CCR_DCHECK(DecisionLevel() == 0);
+  // Backward subsumption / self-subsuming resolution: the clauses the
+  // encode layer appended since the last pass act as subsumers against
+  // the whole problem DB. A subsumer C removes any D ⊇ C outright; if C
+  // matches D except for exactly one flipped literal l, resolving on l
+  // strengthens D by dropping ~l (equivalence-preserving both ways).
+  struct Item {
+    ClauseRef cref;
+    uint64_t sig;  // var-based Bloom signature
+  };
+  auto clause_sig = [this](ClauseRef c) {
+    uint64_t s = 0;
+    const Lit* lits = ClauseLits(c);
+    for (int k = 0; k < ClauseSize(c); ++k) {
+      s |= 1ull << (lits[k].var() & 63);
+    }
+    return s;
+  };
+  // Candidate lookups only ever key on a variable of some subsumer, so
+  // the occurrence lists are built for exactly those variables — for a
+  // between-round delta that is a tiny slice of the formula.
+  const size_t fresh = std::min(fresh_clause_count_, clauses_.size());
+  if (fresh == 0 && pending_bins_.empty()) return;
+  std::vector<uint8_t> sub_var(num_vars(), 0);
+  for (const auto& [a, b] : pending_bins_) {
+    sub_var[a.var()] = 1;
+    sub_var[b.var()] = 1;
+  }
+  for (size_t i = clauses_.size() - fresh; i < clauses_.size(); ++i) {
+    const ClauseRef c = clauses_[i];
+    if (ClauseDead(c)) continue;
+    const Lit* lits = ClauseLits(c);
+    for (int k = 0; k < ClauseSize(c); ++k) sub_var[lits[k].var()] = 1;
+  }
+  std::vector<Item> items;
+  items.reserve(clauses_.size());
+  std::vector<std::vector<int32_t>> occur(num_vars());
+  for (ClauseRef c : clauses_) {
+    if (ClauseDead(c)) continue;
+    const int32_t idx = static_cast<int32_t>(items.size());
+    items.push_back({c, clause_sig(c)});
+    const Lit* lits = ClauseLits(c);
+    for (int k = 0; k < ClauseSize(c); ++k) {
+      const Var v = lits[k].var();
+      if (sub_var[v]) occur[v].push_back(idx);
+    }
+  }
+
+  int64_t steps = 0;
+  // Does the clause `sub` subsume `d` outright (return 1), subsume it
+  // after flipping exactly one literal (return 2, *flip = the literal of
+  // `sub` whose negation must leave `d`), or neither (return 0)?
+  auto subsume_check = [this, &steps](std::span<const Lit> sub, ClauseRef d,
+                                      Lit* flip) -> int {
+    const Lit* dl = ClauseLits(d);
+    const int ds = ClauseSize(d);
+    Lit flipped = kLitUndef;
+    for (Lit a : sub) {
+      steps += ds;
+      bool found = false;
+      bool neg = false;
+      for (int b = 0; b < ds; ++b) {
+        if (dl[b] == a) {
+          found = true;
+          break;
+        }
+        if (dl[b] == ~a) {
+          neg = true;
+          break;
+        }
+      }
+      if (found) continue;
+      if (neg && flipped == kLitUndef) {
+        flipped = a;
+        continue;
+      }
+      return 0;
+    }
+    if (flipped == kLitUndef) return 1;
+    *flip = flipped;
+    return 2;
+  };
+
+  auto run_subsumer = [&](std::span<const Lit> sub, ClauseRef self) {
+    // Candidates must contain every var of `sub`; scan the shortest
+    // occurrence list.
+    int best_var = -1;
+    size_t best_len = SIZE_MAX;
+    for (Lit a : sub) {
+      const size_t len = occur[a.var()].size();
+      if (len < best_len) {
+        best_len = len;
+        best_var = a.var();
+      }
+    }
+    if (best_var < 0) return;
+    uint64_t sub_sig = 0;
+    for (Lit a : sub) sub_sig |= 1ull << (a.var() & 63);
+    for (const int32_t idx : occur[best_var]) {
+      Item& it = items[idx];
+      if (it.cref == self || ClauseDead(it.cref)) continue;
+      if (ClauseSize(it.cref) < static_cast<int>(sub.size())) continue;
+      if ((sub_sig & ~it.sig) != 0) continue;
+      Lit flip = kLitUndef;
+      const int verdict = subsume_check(sub, it.cref, &flip);
+      if (verdict == 1) {
+        DetachClause(it.cref);
+        MarkClauseDead(it.cref);
+        ++stats_.subsumed;
+      } else if (verdict == 2) {
+        StrengthenClause(it.cref, ~flip);
+        ++stats_.subsumed;
+        if (!ClauseDead(it.cref)) it.sig = clause_sig(it.cref);
+        if (!ok_) return;
+      }
+    }
+  };
+
+  // New binary clauses first (the currency-order encodings are dominated
+  // by them), then the appended long clauses.
+  for (const auto& [a, b] : pending_bins_) {
+    if (steps > kSubsumptionStepBudget || !ok_) break;
+    const Lit sub[2] = {a, b};
+    run_subsumer(std::span<const Lit>(sub, 2), kRefUndef);
+  }
+  pending_bins_.clear();
+  for (size_t i = clauses_.size() - fresh; i < clauses_.size(); ++i) {
+    if (steps > kSubsumptionStepBudget || !ok_) break;
+    const ClauseRef c = clauses_[i];
+    if (ClauseDead(c)) continue;
+    run_subsumer(
+        std::span<const Lit>(ClauseLits(c), ClauseSize(c)), c);
+  }
+  fresh_clause_count_ = 0;
+
+  // Strengthening may have queued units; fold them in.
+  if (ok_ && Propagate() != kRefUndef) ok_ = false;
+  // Compact the clause list (dead clauses are already detached).
+  size_t j = 0;
+  for (ClauseRef c : clauses_) {
+    if (!ClauseDead(c)) clauses_[j++] = c;
+  }
+  clauses_.resize(j);
+}
+
+void Solver::VivificationPass() {
+  CCR_DCHECK(DecisionLevel() == 0);
+  if (!ok_) return;
+  // Clause vivification (distillation): for problem clause C = (l1..ln),
+  // assume ¬l1, ¬l2, ... one at a time with full propagation (C itself
+  // detached). A conflict — or a literal already decided by the prefix —
+  // proves a strict subclause is implied, and C shrinks to it.
+  //
+  // Scope: only the round's delta. The first pass stamps the initial
+  // encoding as vivified WITHOUT distilling it (wholesale distillation of
+  // a generator-canonical encoding costs far more propagation than every
+  // solve of the session combined); later passes distill exactly the
+  // clauses appended — or strengthened by subsumption — since, under a
+  // propagation budget as a backstop.
+  if (!vivify_primed_) {
+    vivify_primed_ = true;
+    for (ClauseRef c : clauses_) SetClauseVivified(c, true);
+    return;
+  }
+  const int64_t start_props = stats_.propagations;
+  std::vector<Lit> kept;
+  for (size_t n = clauses_.size(); n-- > 0;) {
+    if (!ok_) break;
+    if (stats_.propagations - start_props > kVivifyPropBudget) break;
+    const ClauseRef c = clauses_[n];
+    if (ClauseDead(c) || ClauseVivified(c)) continue;
+    SetClauseVivified(c, true);
+    const Lit* lits = ClauseLits(c);
+    const int size = ClauseSize(c);
+    bool satisfied = false;
+    for (int k = 0; k < size && !satisfied; ++k) {
+      satisfied = ValueOf(lits[k]) == Lbool::kTrue;
+    }
+    if (satisfied) {
+      DetachClause(c);
+      MarkClauseDead(c);
+      continue;
+    }
+    if (size < 3) continue;  // arena binaries (legacy mode): leave alone
+    DetachClause(c);
+    kept.clear();
+    for (int k = 0; k < size; ++k) {
+      const Lit l = lits[k];
+      const Lbool v = ValueOf(l);
+      if (v == Lbool::kTrue) {
+        // ¬(prefix) forces l: C shrinks to (prefix ∨ l).
+        kept.push_back(l);
+        break;
+      }
+      if (v == Lbool::kFalse) continue;  // redundant literal
+      kept.push_back(l);
+      if (k == size - 1) break;  // asserting the last literal proves nothing
+      trail_lim_.push_back(static_cast<int>(trail_.size()));
+      UncheckedEnqueue(~l, kRefUndef);
+      if (Propagate() != kRefUndef) break;  // ¬(prefix) is contradictory
+    }
+    CancelUntil(0);
+    if (kept.size() == static_cast<size_t>(size)) {
+      AttachClause(c);
+      continue;
+    }
+    stats_.vivified += size - static_cast<int64_t>(kept.size());
+    ShrinkClause(c, kept);
+    // Keep the level-0 fixpoint before the next clause's decisions.
+    if (ok_ && Propagate() != kRefUndef) ok_ = false;
+  }
+  size_t j = 0;
+  for (ClauseRef c : clauses_) {
+    if (!ClauseDead(c)) clauses_[j++] = c;
+  }
+  clauses_.resize(j);
 }
 
 }  // namespace ccr::sat

@@ -2,11 +2,23 @@
 //
 // This is the repository's stand-in for MiniSat [19], which the paper's
 // IsValid uses to decide whether a specification Se has a valid completion.
-// It implements the standard modern architecture: two-watched-literal
-// propagation, 1-UIP conflict analysis with clause learning, VSIDS decision
-// ordering, phase saving, Luby restarts, activity-based learnt-clause
-// reduction, and incremental solving under assumptions (used by NaiveDeduce
-// and the MaxSAT layer).
+// The architecture is a modern incremental CDCL: two-watched-literal
+// propagation with a dedicated implicit watch list for binary clauses
+// (binaries never touch the clause arena — the currency-order and CFD
+// encodings are dominated by binary implications), 1-UIP conflict analysis
+// with recursive (deep) conflict-clause minimization, LBD ("glue")
+// computation per learnt clause feeding a three-tier learnt database
+// (core glue<=2 kept forever, mid reduced by glue, local reduced by
+// activity), Glucose-style EMA-based restarts, VSIDS decision ordering,
+// phase saving, incremental solving under assumptions (used by NaiveDeduce
+// and the MaxSAT layer), and an inprocessing pass — clause vivification
+// plus backward subsumption / self-subsuming resolution — run from
+// Simplify() between session rounds. Every modern heuristic sits behind a
+// SolverOptions flag; the legacy MiniSat-2003 behavior (arena binaries,
+// activity-only deletion, Luby restarts, one-step minimization, no
+// inprocessing) stays available for ablation, and because the pipeline
+// above consumes only SAT/UNSAT verdicts, every option combination
+// resolves every entity identically.
 
 #ifndef CCR_SAT_SOLVER_H_
 #define CCR_SAT_SOLVER_H_
@@ -21,16 +33,63 @@
 
 namespace ccr::sat {
 
-/// Tunables; the defaults match common MiniSat settings. The ablation
-/// benches flip individual features off.
+/// Tunables. The defaults are the modern configuration; the ablation
+/// benches and the randomized equivalence suite flip features off (all
+/// five `use_*` modernization flags false = the legacy MiniSat-style
+/// solver this repo started from).
 struct SolverOptions {
   bool use_vsids = true;          // activity-ordered decisions vs. lowest id
   bool use_phase_saving = true;   // remember last polarity per variable
-  bool use_restarts = true;       // Luby restarts
+  bool use_restarts = true;       // restarts enabled at all
   bool use_clause_deletion = true;  // periodically shrink the learnt DB
+  /// Implicit binary-clause watch lists: clauses of size 2 live in a
+  /// (Lit -> Lit) implication list and propagate without arena access;
+  /// their reasons are literal-encoded. Off = binaries share the arena
+  /// and the generic watcher path.
+  bool use_binary_watches = true;
+  /// LBD-tiered learnt DB: glue <= 2 core (kept forever), glue <= 6 mid
+  /// (reduced by glue, rarely), rest local (reduced by activity, often).
+  /// Off = single activity-sorted DB, MiniSat style.
+  bool use_lbd_tiers = true;
+  /// Glucose-style restarts: restart when the short-term LBD average
+  /// exceeds the long-term average. Off = Luby sequence.
+  bool use_ema_restarts = true;
+  /// Full recursive conflict-clause minimization (ccmin deep mode).
+  /// Off = the one-step self-subsumption check only.
+  bool use_deep_ccmin = true;
+  /// Inprocessing in Simplify(): clause vivification and backward
+  /// subsumption / self-subsuming resolution over the problem clauses.
+  /// Intended between session rounds, after the encode layer appended the
+  /// round's delta. Off = Simplify only sweeps satisfied clauses.
+  bool use_inprocessing = true;
+  /// Cached-model witness reuse (the backbone-extraction trick): an
+  /// assumption solve first probes the models of recent kSat calls — a
+  /// cached model satisfying every assumption IS the answer, no search.
+  /// Adding a clause or freezing a scope invalidates the cache; clause
+  /// learning and inprocessing are implication-preserving and do not.
+  /// This is what makes NaiveDeduce's d² Lemma-6 queries cheap: most are
+  /// satisfiable, and each real solve's model witnesses many later ones.
+  /// The verdict is exact either way, so results cannot change.
+  bool use_model_cache = true;
   double var_decay = 0.95;
   double clause_decay = 0.999;
   int64_t max_conflicts = -1;     // < 0 means unlimited
+
+  /// The 2003-era configuration this repo started from: every
+  /// modernization flag off. The single definition the ablation bench,
+  /// `ccr_experiment --solver legacy` and the equivalence tests share —
+  /// a new modernization flag added here is legacy-off everywhere at
+  /// once.
+  static SolverOptions LegacyHeuristics() {
+    SolverOptions o;
+    o.use_binary_watches = false;
+    o.use_lbd_tiers = false;
+    o.use_ema_restarts = false;
+    o.use_deep_ccmin = false;
+    o.use_inprocessing = false;
+    o.use_model_cache = false;
+    return o;
+  }
 };
 
 /// Outcome of a solve call.
@@ -47,13 +106,64 @@ struct SolverStats {
   /// persisting across pipeline phases and rounds, this is the count of
   /// conditional queries answered without copying or rebuilding anything.
   int64_t assumption_solves = 0;
+  /// Literals enqueued from the implicit binary watch lists (a subset of
+  /// the implications behind `propagations`, which counts trail literals
+  /// processed).
+  int64_t binary_propagations = 0;
+  /// Sum of LBD ("glue") over learnt clauses at learn time; divide by
+  /// `conflicts` for the average glue of the search.
+  int64_t lbd_sum = 0;
+  /// Learnt clauses entering each tier at learn time. With LBD tiers off,
+  /// every non-unit learnt counts as local. Binary learnts under binary
+  /// watches count as core (they are kept forever by construction).
+  int64_t learnt_core = 0;
+  int64_t learnt_mid = 0;
+  int64_t learnt_local = 0;
+  /// Inprocessing: problem clauses removed by backward subsumption plus
+  /// literals removed by self-subsuming resolution.
+  int64_t subsumed = 0;
+  /// Inprocessing: literals removed from problem clauses by vivification.
+  int64_t vivified = 0;
+  /// Assumption solves answered from the cached-model pool without any
+  /// search (use_model_cache).
+  int64_t model_cache_hits = 0;
 
-  /// Component-wise difference (for per-call deltas).
+  /// Component-wise difference (for per-call and per-phase deltas).
   SolverStats operator-(const SolverStats& o) const {
-    return {conflicts - o.conflicts,           decisions - o.decisions,
-            propagations - o.propagations,     restarts - o.restarts,
+    return {conflicts - o.conflicts,
+            decisions - o.decisions,
+            propagations - o.propagations,
+            restarts - o.restarts,
             learnt_literals - o.learnt_literals,
-            assumption_solves - o.assumption_solves};
+            assumption_solves - o.assumption_solves,
+            binary_propagations - o.binary_propagations,
+            lbd_sum - o.lbd_sum,
+            learnt_core - o.learnt_core,
+            learnt_mid - o.learnt_mid,
+            learnt_local - o.learnt_local,
+            subsumed - o.subsumed,
+            vivified - o.vivified,
+            model_cache_hits - o.model_cache_hits};
+  }
+
+  /// Component-wise sum (for pooling per-phase deltas across rounds and
+  /// entities).
+  SolverStats& operator+=(const SolverStats& o) {
+    conflicts += o.conflicts;
+    decisions += o.decisions;
+    propagations += o.propagations;
+    restarts += o.restarts;
+    learnt_literals += o.learnt_literals;
+    assumption_solves += o.assumption_solves;
+    binary_propagations += o.binary_propagations;
+    lbd_sum += o.lbd_sum;
+    learnt_core += o.learnt_core;
+    learnt_mid += o.learnt_mid;
+    learnt_local += o.learnt_local;
+    subsumed += o.subsumed;
+    vivified += o.vivified;
+    model_cache_hits += o.model_cache_hits;
+    return *this;
   }
 };
 
@@ -118,14 +228,45 @@ class Solver {
   /// per-call delta keeps phase attribution meaningful.
   const SolverStats& last_call_stats() const { return last_call_; }
 
-  /// Top-level simplification hook: propagates any pending level-0 facts
-  /// and detaches problem and learnt clauses already satisfied at level 0.
-  /// Intended between rounds of an incremental session, after new clauses
-  /// were appended. Returns false if the solver is (now) unsatisfiable.
+  /// Top-level simplification hook: propagates any pending level-0 facts,
+  /// detaches problem and learnt clauses already satisfied at level 0,
+  /// and — when options.use_inprocessing is set — runs the inprocessing
+  /// passes (backward subsumption / self-subsuming resolution, then
+  /// clause vivification) over the problem clauses. Intended between
+  /// rounds of an incremental session, after new clauses were appended.
+  /// Both passes are equivalence-preserving, so every verdict the solver
+  /// produces afterwards is unchanged. Returns false if the solver is
+  /// (now) unsatisfiable.
   bool Simplify();
+
+  /// Declares the problem clauses loaded so far the inprocessing
+  /// baseline: they will not be re-distilled or self-subsumed; future
+  /// Simplify() calls inprocess only the clauses appended afterwards (the
+  /// session rounds' deltas) against the whole DB. ResolutionSession
+  /// calls this once after loading Φ(Se) — distilling a freshly
+  /// generated, canonical encoding wholesale costs more propagation than
+  /// every solve of the session combined. Without priming, the first
+  /// Simplify() primes implicitly (vivification) and the whole formula
+  /// acts as its own subsumer set under the step budget.
+  void PrimeInprocessing();
 
   /// True if unsatisfiability was established independent of assumptions.
   bool IsUnsatForever() const { return !ok_; }
+
+  /// Asserts ¬activation plus ¬v for every scope variable in one batch —
+  /// a single multi-literal pass with ONE propagation round, instead of
+  /// one AddClause (each with its own propagation fixpoint) per variable.
+  /// The frozen variables are additionally barred from ever re-entering
+  /// the decision heap (checked). Returns false if the solver became
+  /// unsatisfiable. ScopedVars::Release is the caller.
+  bool FreezeScope(Lit activation, std::span<const Var> vars);
+
+  /// Debug/test accessor: every learnt clause currently in the database
+  /// (all tiers), plus every binary clause ever learnt into the implicit
+  /// binary watch lists. Each returned clause is implied by the problem
+  /// clauses — the learnt-implication regression suite re-solves to check
+  /// exactly that.
+  std::vector<std::vector<Lit>> LearntClauses() const;
 
   /// Restores the solver to its freshly-constructed state — no variables,
   /// no clauses, zeroed statistics, `options` applied — while keeping the
@@ -138,22 +279,61 @@ class Solver {
 
  private:
   // --- clause arena ----------------------------------------------------
+  //
+  // Arena layout per clause: [size<<3 | vivified<<2 | dead<<1 |
+  // learnt][activity bits][lbd][lits...]. `dead` marks clauses removed by
+  // inprocessing (already detached; their arena words are simply never
+  // reclaimed until Reset); `vivified` marks clauses the vivification
+  // pass has already distilled, so later passes skip them until a
+  // strengthening changes them again.
+  //
+  // Reason encoding: a reason is either an arena reference (< 2^31 —
+  // checked at allocation), the literal-encoded reason of a binary
+  // implication (bit 31 set, low bits the OTHER, false literal of the
+  // binary clause), kRefBinConflict (a binary conflict, the two literals
+  // in bin_conflict_), or kRefUndef.
   using ClauseRef = uint32_t;
   static constexpr ClauseRef kRefUndef = UINT32_MAX;
+  static constexpr ClauseRef kRefBinConflict = UINT32_MAX - 1;
+  static constexpr ClauseRef kRefBinaryFlag = 0x80000000u;
 
-  // Arena layout per clause: [size<<1 | learnt][activity bits][lits...]
+  static bool RefIsBinary(ClauseRef r) {
+    return r >= kRefBinaryFlag && r < kRefBinConflict;
+  }
+  static ClauseRef MakeBinaryRef(Lit other) {
+    return kRefBinaryFlag | static_cast<uint32_t>(other.index());
+  }
+  static Lit RefLit(ClauseRef r) {
+    return Lit::FromIndex(static_cast<int32_t>(r & ~kRefBinaryFlag));
+  }
+
   ClauseRef AllocClause(const std::vector<Lit>& lits, bool learnt);
-  int ClauseSize(ClauseRef c) const { return arena_[c] >> 1; }
+  int ClauseSize(ClauseRef c) const { return arena_[c] >> 3; }
   bool ClauseLearnt(ClauseRef c) const { return arena_[c] & 1; }
+  bool ClauseDead(ClauseRef c) const { return arena_[c] & 2; }
+  void MarkClauseDead(ClauseRef c) { arena_[c] |= 2; }
+  bool ClauseVivified(ClauseRef c) const { return arena_[c] & 4; }
+  void SetClauseVivified(ClauseRef c, bool on) {
+    if (on) {
+      arena_[c] |= 4;
+    } else {
+      arena_[c] &= ~4u;
+    }
+  }
+  void SetClauseSize(ClauseRef c, int size) {
+    arena_[c] = (static_cast<uint32_t>(size) << 3) | (arena_[c] & 7);
+  }
   Lit* ClauseLits(ClauseRef c) {
-    return reinterpret_cast<Lit*>(&arena_[c + 2]);
+    return reinterpret_cast<Lit*>(&arena_[c + 3]);
   }
   const Lit* ClauseLits(ClauseRef c) const {
-    return reinterpret_cast<const Lit*>(&arena_[c + 2]);
+    return reinterpret_cast<const Lit*>(&arena_[c + 3]);
   }
   float& ClauseActivity(ClauseRef c) {
     return *reinterpret_cast<float*>(&arena_[c + 1]);
   }
+  uint32_t ClauseLbd(ClauseRef c) const { return arena_[c + 2]; }
+  void SetClauseLbd(ClauseRef c, uint32_t lbd) { arena_[c + 2] = lbd; }
 
   struct Watcher {
     ClauseRef cref;
@@ -167,16 +347,53 @@ class Solver {
                      std::span<const Lit> assumptions);
   ClauseRef Propagate();
   void Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
-               int* out_btlevel);
+               int* out_btlevel, int* out_lbd);
+  bool LitRedundant(Lit p, uint32_t abstract_levels);
   void AnalyzeFinal(Lit p, std::vector<Lit>* out_core);
   void UncheckedEnqueue(Lit p, ClauseRef from);
   void CancelUntil(int level);
   Lit PickBranchLit();
   void AttachClause(ClauseRef c);
   void DetachClause(ClauseRef c);
+  void AttachBinary(Lit a, Lit b);
+  void RecordLearnt(const std::vector<Lit>& learnt, int lbd);
+  int ComputeLbd(std::span<const Lit> lits);
   void ReduceDb();
+  void ReduceDbTiered();
   void RemoveSatisfiedTopLevel();
   void SweepSatisfied(std::vector<ClauseRef>* list);
+  void SweepBinaries();
+  size_t NumReducibleLearnts() const {
+    return learnts_mid_.size() + learnts_local_.size();
+  }
+
+  // --- model cache ------------------------------------------------------
+  bool ModelWitnesses(const std::vector<Lbool>& m,
+                      std::span<const Lit> assumptions) const {
+    for (Lit a : assumptions) {
+      if (static_cast<size_t>(a.var()) >= m.size()) return false;
+      if (LboolOf(m[a.var()], a.negated()) != Lbool::kTrue) return false;
+    }
+    return true;
+  }
+  // A clause was added or a scope frozen: cached models may be falsified.
+  void InvalidateModelCache() {
+    model_fresh_ = false;
+    model_pool_.clear();
+    model_pool_next_ = 0;
+  }
+  // Rotates the previous newest model into the ring before model_ is
+  // overwritten by a fresh solve.
+  void CacheCurrentModel();
+
+  // --- inprocessing ----------------------------------------------------
+  void SubsumptionPass();
+  void VivificationPass();
+  // Removes `l` from the (attached, size>=3) problem clause `c`,
+  // re-attaching / migrating / enqueueing as the new size demands.
+  void StrengthenClause(ClauseRef c, Lit l);
+  // Rewrites clause `c` to `lits` after vivification shortened it.
+  void ShrinkClause(ClauseRef c, std::span<const Lit> lits);
 
   Lbool ValueOf(Lit p) const {
     return LboolOf(assigns_[p.var()], p.negated());
@@ -201,17 +418,33 @@ class Solver {
   bool ok_ = true;  // false once UNSAT independent of assumptions
 
   std::vector<uint32_t> arena_;
-  std::vector<ClauseRef> clauses_;  // problem clauses
-  std::vector<ClauseRef> learnts_;
+  std::vector<ClauseRef> clauses_;  // problem clauses (arena-backed)
+  // Learnt tiers. With use_lbd_tiers off everything lands in local and
+  // ReduceDb behaves like the single activity-sorted MiniSat DB.
+  std::vector<ClauseRef> learnts_core_;   // glue <= 2, kept forever
+  std::vector<ClauseRef> learnts_mid_;    // glue <= 6, reduced by glue
+  std::vector<ClauseRef> learnts_local_;  // reduced by activity
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+  // Implicit binary watch lists: bins_[p.index()] holds every literal q
+  // with a clause (~p ∨ q) — assigning p true implies q, no arena access.
+  std::vector<std::vector<Lit>> bins_;
+  // Binary clauses learnt into bins_ (LearntClauses() debug accessor
+  // only; capped in RecordLearnt, and a learnt binary stays implied even
+  // after a sweep prunes its entries).
+  std::vector<std::pair<Lit, Lit>> learnt_binaries_;
+  Lit bin_conflict_[2] = {kLitUndef, kLitUndef};
+
   std::vector<Lbool> assigns_;                 // per var
   std::vector<bool> polarity_;                 // saved phases
+  std::vector<uint8_t> frozen_;  // per var; released scope vars, barred
+                                 // from the decision heap
   std::vector<int> level_;                     // per var
   std::vector<ClauseRef> reason_;              // per var
   std::vector<Lit> trail_;
   std::vector<int> trail_lim_;
-  size_t qhead_ = 0;
+  size_t qhead_ = 0;   // next trail literal for long-clause propagation
+  size_t bhead_ = 0;   // next trail literal for binary propagation
 
   std::vector<double> activity_;  // per var
   double var_inc_ = 1.0;
@@ -220,10 +453,40 @@ class Solver {
   std::vector<int> heap_pos_;   // per var; -1 if absent
 
   std::vector<uint8_t> seen_;   // scratch for Analyze
+  std::vector<Lit> analyze_stack_;    // scratch for LitRedundant
+  std::vector<Lit> analyze_toclear_;  // seen_ marks to undo
+  std::vector<uint64_t> lbd_stamp_;   // per level, for ComputeLbd
+  uint64_t lbd_counter_ = 0;
   std::vector<Lbool> model_;
   std::vector<Lit> conflict_core_;
 
+  // Cached-model pool (use_model_cache): model_ itself is the newest
+  // entry when model_fresh_; older models ride in a small ring. Cleared
+  // whenever the formula genuinely strengthens (AddClause, FreezeScope).
+  static constexpr size_t kModelPoolSize = 4;
+  std::vector<std::vector<Lbool>> model_pool_;
+  size_t model_pool_next_ = 0;
+  bool model_fresh_ = false;
+
+  // Glucose-style restart state (per SolveLoop; seeded by the first
+  // conflict's glue so the slow average never anchors at 0).
+  double ema_fast_ = 0;
+  double ema_slow_ = 0;
+  bool ema_seeded_ = false;
+  int64_t conflicts_since_restart_ = 0;
+
   double max_learnts_ = 0;
+  int64_t reduce_calls_ = 0;
+
+  // Inprocessing bookkeeping: how many clauses_ entries were appended
+  // since the last subsumption pass (those act as the subsumers), and the
+  // problem binaries added since then (binaries bypass the arena under
+  // binary watches, so they are tracked separately).
+  size_t fresh_clause_count_ = 0;
+  std::vector<std::pair<Lit, Lit>> pending_bins_;
+  // False until the first vivification pass, which stamps the initial
+  // encoding as seen instead of distilling it wholesale.
+  bool vivify_primed_ = false;
 };
 
 /// \brief A batch of temporary variables and clauses on a persistent
@@ -233,13 +496,14 @@ class Solver {
 /// auxiliary variables whose clauses must not constrain later rounds of
 /// the same session. A scope ties every clause added through it to a fresh
 /// activation literal `act`: the clause is stored as (clause ∨ ¬act), so it
-/// only bites while `act` is among the solve assumptions. Release() asserts
-/// ¬act at the top level — every scope clause (and every learnt clause
-/// derived from one, which necessarily contains ¬act) becomes permanently
+/// only bites while `act` is among the solve assumptions. Release() hands
+/// the whole scope to Solver::FreezeScope, which asserts ¬act and freezes
+/// every scope variable false in one batched pass with a single
+/// propagation round — every scope clause (and every learnt clause derived
+/// from one, which necessarily contains ¬act) becomes permanently
 /// satisfied and is swept by the solver's top-level simplification — and
-/// freezes the scope's variables to false so they never resurface as
-/// decision candidates. Variable ids are not reclaimed; everything else
-/// about the scope is gone.
+/// bars the frozen variables from re-entering the decision heap. Variable
+/// ids are not reclaimed; everything else about the scope is gone.
 ///
 /// Usage:
 ///   ScopedVars scope(&solver);
@@ -272,12 +536,12 @@ class ScopedVars {
     return solver_->AddClause(std::move(lits));
   }
 
-  /// Permanently deactivates the scope (idempotent).
+  /// Permanently deactivates the scope (idempotent): one batched
+  /// freeze-and-propagate pass over the activation plus every scope var.
   void Release() {
     if (released_) return;
     released_ = true;
-    solver_->AddClause({Lit::Neg(act_)});
-    for (Var v : vars_) solver_->AddClause({Lit::Neg(v)});
+    solver_->FreezeScope(activation(), vars_);
   }
 
  private:

@@ -241,12 +241,22 @@ TEST(SolverTest, ImplicationDetectionViaAssumptions) {
 }
 
 // Random 3-SAT cross-checked against brute force under every feature
-// configuration.
+// configuration — the classic MiniSat toggles plus each modernization
+// flag (binary watches, LBD tiers, EMA restarts, deep ccmin, witness
+// cache) and a mid-stream Simplify() variant that exercises the
+// inprocessing passes on half-loaded formulas.
 struct FuzzParams {
-  bool vsids;
-  bool phase_saving;
-  bool restarts;
-  bool deletion;
+  bool vsids = true;
+  bool phase_saving = true;
+  bool restarts = true;
+  bool deletion = true;
+  bool binary_watches = true;
+  bool lbd_tiers = true;
+  bool ema_restarts = true;
+  bool deep_ccmin = true;
+  bool inprocessing = true;
+  bool model_cache = true;
+  bool simplify_midway = false;  // feed half, Simplify (inprocess), rest
 };
 
 class SolverFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
@@ -254,7 +264,11 @@ class SolverFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
 TEST_P(SolverFuzzTest, MatchesBruteForce) {
   const FuzzParams p = GetParam();
   Rng rng(0xF00D + (p.vsids ? 1 : 0) + (p.phase_saving ? 2 : 0) +
-          (p.restarts ? 4 : 0) + (p.deletion ? 8 : 0));
+          (p.restarts ? 4 : 0) + (p.deletion ? 8 : 0) +
+          (p.binary_watches ? 16 : 0) + (p.lbd_tiers ? 32 : 0) +
+          (p.ema_restarts ? 64 : 0) + (p.deep_ccmin ? 128 : 0) +
+          (p.inprocessing ? 1024 : 0) + (p.model_cache ? 256 : 0) +
+          (p.simplify_midway ? 512 : 0));
   int sat_count = 0, unsat_count = 0;
   for (int round = 0; round < 150; ++round) {
     const int n_vars = 3 + static_cast<int>(rng.Below(10));
@@ -275,8 +289,34 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
     opts.use_phase_saving = p.phase_saving;
     opts.use_restarts = p.restarts;
     opts.use_clause_deletion = p.deletion;
+    opts.use_binary_watches = p.binary_watches;
+    opts.use_lbd_tiers = p.lbd_tiers;
+    opts.use_ema_restarts = p.ema_restarts;
+    opts.use_deep_ccmin = p.deep_ccmin;
+    opts.use_inprocessing = p.inprocessing;
+    opts.use_model_cache = p.model_cache;
     Solver solver(opts);
-    solver.AddCnf(cnf);
+    bool alive = true;
+    if (p.simplify_midway) {
+      // Half the clauses, a priming+inprocessing Simplify pair, then the
+      // rest and one more Simplify over that "delta".
+      const int half = cnf.num_clauses() / 2;
+      std::vector<Lit> scratch;
+      for (int c = 0; c < half; ++c) {
+        auto span = cnf.clause(c);
+        scratch.assign(span.begin(), span.end());
+        alive = solver.AddClause(scratch) && alive;
+      }
+      if (alive) alive = solver.Simplify();
+      for (int c = half; c < cnf.num_clauses(); ++c) {
+        auto span = cnf.clause(c);
+        scratch.assign(span.begin(), span.end());
+        alive = solver.AddClause(scratch) && alive;
+      }
+      if (alive) alive = solver.Simplify();
+    } else {
+      solver.AddCnf(cnf);
+    }
     const bool expected = BruteForceSat(cnf);
     const SolveResult got = solver.Solve();
     ASSERT_EQ(got == SolveResult::kSat, expected) << "round " << round;
@@ -294,12 +334,30 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(
     FeatureMatrix, SolverFuzzTest,
-    ::testing::Values(FuzzParams{true, true, true, true},
-                      FuzzParams{false, true, true, true},
-                      FuzzParams{true, false, true, true},
-                      FuzzParams{true, true, false, true},
-                      FuzzParams{true, true, true, false},
-                      FuzzParams{false, false, false, false}));
+    ::testing::Values(
+        FuzzParams{},                          // modern defaults
+        FuzzParams{.vsids = false},
+        FuzzParams{.phase_saving = false},
+        FuzzParams{.restarts = false},
+        FuzzParams{.deletion = false},
+        FuzzParams{.binary_watches = false},
+        FuzzParams{.lbd_tiers = false},
+        FuzzParams{.ema_restarts = false},
+        FuzzParams{.deep_ccmin = false},
+        FuzzParams{.model_cache = false},
+        FuzzParams{.simplify_midway = true},
+        // Fully legacy: the 2003-era solver this repo started from.
+        FuzzParams{.vsids = false, .phase_saving = false, .restarts = false,
+                   .deletion = false, .binary_watches = false,
+                   .lbd_tiers = false, .ema_restarts = false,
+                   .deep_ccmin = false, .inprocessing = false,
+                   .model_cache = false},
+        // Legacy heuristics plus mid-stream Simplify(): with
+        // use_inprocessing off it only sweeps satisfied clauses.
+        FuzzParams{.binary_watches = false, .lbd_tiers = false,
+                   .ema_restarts = false, .deep_ccmin = false,
+                   .inprocessing = false, .model_cache = false,
+                   .simplify_midway = true}));
 
 TEST(DimacsTest, RoundTrip) {
   Cnf cnf;

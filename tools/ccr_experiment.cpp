@@ -41,8 +41,10 @@ struct CliOptions {
   double sigma_fraction = 1.0;
   double gamma_fraction = 1.0;
   std::string engine = "session";  // session (default) | legacy
+  std::string solver = "modern";   // modern (default) | legacy heuristics
   bool include_timings = true;
   bool reuse_allocations = true;
+  bool solver_stats = false;
   std::string out = "-";
   bool merge_mode = false;
   std::vector<std::string> merge_inputs;
@@ -71,6 +73,14 @@ void PrintUsage(std::FILE* to) {
                "  --engine E        session (persistent-solver incremental\n"
                "                    engine, default) | legacy (re-encode\n"
                "                    every round; A/B reference)\n"
+               "  --solver S        modern (binary watches, LBD tiers, EMA\n"
+               "                    restarts, deep ccmin, inprocessing;\n"
+               "                    default) | legacy (all five off; the\n"
+               "                    MiniSat-2003 heuristics). Results are\n"
+               "                    bit-identical either way.\n"
+               "  --solver-stats    dump pooled per-phase solver statistics\n"
+               "                    (conflicts, binary propagations, glue,\n"
+               "                    tier/inprocessing counters) on stderr\n"
                "  --no-reuse        disable cross-entity solver pooling\n"
                "\n"
                "Common flags:\n"
@@ -130,6 +140,21 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
     if (arg == "--no-reuse") {
       opts->reuse_allocations = false;
       in_merge_list = false;
+      continue;
+    }
+    if (arg == "--solver-stats") {
+      opts->solver_stats = true;
+      in_merge_list = false;
+      continue;
+    }
+    if (arg == "--solver") {
+      const char* v = next_value("--solver");
+      if (v == nullptr) return 2;
+      if (std::string(v) != "modern" && std::string(v) != "legacy") {
+        std::fprintf(stderr, "--solver wants modern|legacy, got %s\n", v);
+        return 2;
+      }
+      opts->solver = v;
       continue;
     }
     if (arg == "--dataset") {
@@ -289,6 +314,43 @@ int RunMerge(const CliOptions& o) {
   return WriteOutput(o.out, ExperimentResultToJson(*merged, jopts));
 }
 
+// Dumps the pooled per-phase solver statistics on stderr (NOT into the
+// result JSON: the serialized ExperimentResult must stay byte-identical
+// across engines and solver-heuristic choices).
+void DumpSolverStats(const ExperimentResult& r) {
+  auto dump = [](const char* phase, const sat::SolverStats& s, bool last) {
+    std::fprintf(stderr,
+                 "    \"%s\": {\"conflicts\": %lld, \"decisions\": %lld, "
+                 "\"propagations\": %lld, \"binary_propagations\": %lld, "
+                 "\"restarts\": %lld, \"assumption_solves\": %lld, "
+                 "\"learnt_literals\": %lld, \"lbd_sum\": %lld, "
+                 "\"learnt_core\": %lld, \"learnt_mid\": %lld, "
+                 "\"learnt_local\": %lld, \"subsumed\": %lld, "
+                 "\"vivified\": %lld, \"model_cache_hits\": %lld}%s\n",
+                 phase, static_cast<long long>(s.conflicts),
+                 static_cast<long long>(s.decisions),
+                 static_cast<long long>(s.propagations),
+                 static_cast<long long>(s.binary_propagations),
+                 static_cast<long long>(s.restarts),
+                 static_cast<long long>(s.assumption_solves),
+                 static_cast<long long>(s.learnt_literals),
+                 static_cast<long long>(s.lbd_sum),
+                 static_cast<long long>(s.learnt_core),
+                 static_cast<long long>(s.learnt_mid),
+                 static_cast<long long>(s.learnt_local),
+                 static_cast<long long>(s.subsumed),
+                 static_cast<long long>(s.vivified),
+                 static_cast<long long>(s.model_cache_hits),
+                 last ? "" : ",");
+  };
+  std::fprintf(stderr, "{\n  \"solver_stats\": {\n");
+  dump("encode", r.solver_encode, false);
+  dump("validity", r.solver_validity, false);
+  dump("deduce", r.solver_deduce, false);
+  dump("suggest", r.solver_suggest, true);
+  std::fprintf(stderr, "  }\n}\n");
+}
+
 int RunShard(const CliOptions& o) {
   if (o.dataset != "person" && o.dataset != "nba" && o.dataset != "career") {
     std::fprintf(stderr, "unknown --dataset %s\n", o.dataset.c_str());
@@ -303,6 +365,9 @@ int RunShard(const CliOptions& o) {
   eopts.num_threads = o.threads;
   eopts.reuse_allocations = o.reuse_allocations;
   eopts.resolve.use_session = o.engine == "session";
+  if (o.solver == "legacy") {
+    eopts.resolve.solver = sat::SolverOptions::LegacyHeuristics();
+  }
   const std::vector<int> indices = ShardIndices(
       static_cast<int>(ds.entities.size()), o.shard, o.num_shards);
   ExperimentResult result;
@@ -316,6 +381,7 @@ int RunShard(const CliOptions& o) {
   } else {
     result = RunExperiment(ds, eopts, indices);
   }
+  if (o.solver_stats) DumpSolverStats(result);
   ResultJsonOptions jopts;
   jopts.include_timings = o.include_timings;
   return WriteOutput(o.out, ExperimentResultToJson(result, jopts));
