@@ -5,6 +5,12 @@ add_library(ccr_warnings INTERFACE)
 
 if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
   target_compile_options(ccr_warnings INTERFACE -Wall -Wextra)
+  # The solver stores clause activities as float bits inside a uint32_t
+  # arena via std::bit_cast; make the strict-aliasing contract explicit at
+  # every optimization level (optimized builds already assume it) and warn
+  # on code that would break it.
+  target_compile_options(ccr_warnings INTERFACE
+    -fstrict-aliasing -Wstrict-aliasing)
   if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
     # GCC 12 false-positives on std::variant<T, Status> moves
     # (PR 105562 and friends); the check is too noisy to gate on.

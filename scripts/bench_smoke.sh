@@ -16,7 +16,13 @@
 #     MiniSat-2003 configuration, on the solver-bound NaiveDeduce
 #     pipeline) reported non-identical resolutions or fell below its
 #     floor (CCR_BENCH_SOLVER_FLOOR, default 1.2 — the full-size run
-#     measures >= 5x).
+#     measures >= 5x), or
+#   * the memory_lifecycle soak (one long-lived session fed answer
+#     rounds, arena GC on vs off) reported non-identical results,
+#     performed a session rebuild, or reclaimed fewer arena words than
+#     CCR_BENCH_GC_RECLAIM_FLOOR (default 1000 — the smoke-scale run
+#     deterministically reclaims >= 140k words, so tripping the floor
+#     means compaction stopped firing, not that the runner was noisy).
 #
 # thread_scaling is only gated on multi-core runners: on a 1-core
 # container the bench reports "skipped": true (an N-thread run there
@@ -37,14 +43,17 @@ export CCR_BENCH_THREADS="${CCR_BENCH_THREADS:-2}"
 FLOOR="${CCR_BENCH_SPEEDUP_FLOOR:-1.5}"
 SUGGEST_FLOOR="${CCR_BENCH_SUGGEST_FLOOR:-1.3}"
 SOLVER_FLOOR="${CCR_BENCH_SOLVER_FLOOR:-1.2}"
+GC_RECLAIM_FLOOR="${CCR_BENCH_GC_RECLAIM_FLOOR:-1000}"
 
 scripts/bench.sh "${1:-build-bench}"
 
 echo
 echo "Gating BENCH_throughput.json (incremental floor: ${FLOOR}x," \
-     "suggest floor: ${SUGGEST_FLOOR}x, solver floor: ${SOLVER_FLOOR}x)"
+     "suggest floor: ${SUGGEST_FLOOR}x, solver floor: ${SOLVER_FLOOR}x," \
+     "GC reclaim floor: ${GC_RECLAIM_FLOOR} words)"
 jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
-      --argjson solfloor "$SOLVER_FLOOR" '
+      --argjson solfloor "$SOLVER_FLOOR" \
+      --argjson gcfloor "$GC_RECLAIM_FLOOR" '
   (.incremental.identical_results == true)
   and (.incremental.resolve_errors == 0)
   and (.suggest_incremental.identical_results == true)
@@ -55,6 +64,9 @@ jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
   and ((.thread_scaling.skipped == true)
        or (.thread_scaling.deterministic == true))
   and (.allocation_pooling.deterministic == true)
+  and (.memory_lifecycle.identical_results == true)
+  and (.memory_lifecycle.session_rebuilds == 0)
+  and (.memory_lifecycle.gc_on.reclaimed_words >= $gcfloor)
   and (.incremental.speedup >= $floor)
   and (.suggest_incremental.speedup >= $sfloor)
 ' BENCH_throughput.json >/dev/null || {
@@ -66,4 +78,5 @@ echo "OK: incremental speedup $(jq .incremental.speedup BENCH_throughput.json)x,
      "suggest speedup $(jq .suggest_incremental.speedup BENCH_throughput.json)x," \
      "solver ablation speedup $(jq .solver_ablation.speedup BENCH_throughput.json)x," \
      "pooling speedup $(jq .allocation_pooling.speedup BENCH_throughput.json)x," \
+     "GC reclaimed $(jq .memory_lifecycle.gc_on.reclaimed_words BENCH_throughput.json) arena words," \
      "all equivalence checks true"

@@ -17,7 +17,10 @@
 # does the same for the solver: --solver legacy (arena binaries, Luby
 # restarts, one-step minimization, no inprocessing, no model cache) must
 # be byte-identical too — the pipeline consumes only SAT verdicts, so
-# solver heuristics can never change a resolution.
+# solver heuristics can never change a resolution. A fourth gate runs
+# --solver nogc (arena GC and bounded variable elimination off, modern
+# heuristics otherwise): compaction relocates clauses and BVE rewrites
+# the problem, and neither may move a single result byte.
 #
 # Usage: scripts/shard.sh [N] [build-dir]
 # Environment:
@@ -89,5 +92,17 @@ if cmp "$WORK_DIR/legacy_solver.json" "$WORK_DIR/single.json"; then
 else
   echo "FAIL: legacy-heuristics result differs from the modern solver" >&2
   diff "$WORK_DIR/legacy_solver.json" "$WORK_DIR/single.json" >&2 || true
+  exit 1
+fi
+
+echo "Memory-lifecycle exactness: arena GC + BVE (default, on) vs" \
+     "--solver nogc..."
+"$BIN" "${FLAGS[@]}" --solver nogc --no-timings \
+  --out "$WORK_DIR/nogc_solver.json"
+if cmp "$WORK_DIR/nogc_solver.json" "$WORK_DIR/single.json"; then
+  echo "OK: GC/BVE-off run is byte-identical to the default run"
+else
+  echo "FAIL: GC/BVE-off result differs from the default run" >&2
+  diff "$WORK_DIR/nogc_solver.json" "$WORK_DIR/single.json" >&2 || true
   exit 1
 fi

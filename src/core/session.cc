@@ -126,7 +126,11 @@ Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
   FeedSolver();
   // New clauses (and retired-guard units) may have asserted fresh
   // top-level facts; fold them in and drop clauses they satisfy before
-  // the next phase solves.
+  // the next phase solves. This is also the arena GC schedule point: a
+  // round's sweeps and inprocessing mark dead clauses, and Simplify ends
+  // by compacting the arena once the dead fraction crosses
+  // SolverOptions::gc_frac — which is what keeps a multi-hundred-round
+  // session's solver memory proportional to its live clause set.
   solver_->Simplify();
   ++incremental_extensions_;
   last_encode_ms_ = timer.ElapsedMs();

@@ -120,6 +120,10 @@ class ResolutionSession {
   /// propagations, glue sums, tier/inprocessing counters) into the
   /// RoundTrace.
   const sat::SolverStats& solver_stats() const { return solver_->stats(); }
+  /// The persistent session solver, read-only. Soak tests and the bench
+  /// harness use it to watch the arena lifecycle (live vs peak words, GC
+  /// runs) across a long-lived session.
+  const sat::Solver& solver() const { return *solver_; }
 
  private:
   ResolutionSession() = default;

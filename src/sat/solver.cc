@@ -23,6 +23,18 @@ constexpr int64_t kEmaMinConflicts = 32;
 constexpr int64_t kSubsumptionStepBudget = 2'000'000;  // literal compares
 constexpr int64_t kVivifyPropBudget = 200'000;         // trail literals
 
+// A relocated clause leaves this in its header slot, with the forwarding
+// reference in the next word. No live header can collide: the smallest
+// stored clause has size 2, so every real header is >= (2 << 3) = 16.
+constexpr uint32_t kMovedHeader = 7;
+
+// Bounded variable elimination limits (SatELite-style): skip a variable
+// whose occurrence side exceeds kBveOccLimit clauses, or whose resolvents
+// would exceed the clauses removed (no-growth rule) or grow past
+// kBveResolventLitCap literals.
+constexpr size_t kBveOccLimit = 16;
+constexpr size_t kBveResolventLitCap = 64;
+
 }  // namespace
 
 Solver::Solver(SolverOptions options) : options_(options) {}
@@ -45,6 +57,11 @@ Var Solver::NewVar() {
   while (bins_.size() < 2 * static_cast<size_t>(v) + 2) {
     bins_.emplace_back();
   }
+  while (occur_.size() < static_cast<size_t>(v) + 1) {
+    occur_.emplace_back();
+  }
+  eliminable_.push_back(0);
+  eliminated_.push_back(0);
   HeapInsert(v);
   return v;
 }
@@ -92,9 +109,17 @@ void Solver::Reset(SolverOptions options) {
   conflicts_since_restart_ = 0;
   max_learnts_ = 0;
   reduce_calls_ = 0;
-  fresh_clause_count_ = 0;
+  inproc_watermark_ = 0;
   pending_bins_.clear();
   vivify_primed_ = false;
+  arena_dead_words_ = 0;
+  arena_peak_words_ = 0;
+  arena_tmp_.clear();
+  for (std::vector<ClauseRef>& o : occur_) o.clear();
+  eliminable_.clear();
+  eliminated_.clear();
+  elim_candidates_.clear();
+  elim_stack_.clear();
   model_fresh_ = false;
   model_pool_.clear();
   model_pool_next_ = 0;
@@ -113,7 +138,19 @@ Solver::ClauseRef Solver::AllocClause(const std::vector<Lit>& lits,
   for (Lit l : lits) {
     arena_.push_back(static_cast<uint32_t>(l.index()));
   }
+  arena_peak_words_ = std::max(arena_peak_words_, arena_.size());
   return ref;
+}
+
+void Solver::StoreClauseSig(ClauseRef c) {
+  CCR_DCHECK(!ClauseLearnt(c));
+  uint64_t s = 0;
+  const Lit* lits = ClauseLits(c);
+  for (int k = 0; k < ClauseSize(c); ++k) {
+    s |= 1ull << (lits[k].var() & 63);
+  }
+  arena_[c + 1] = static_cast<uint32_t>(s);
+  arena_[c + 2] = static_cast<uint32_t>(s >> 32);
 }
 
 void Solver::AttachClause(ClauseRef c) {
@@ -148,7 +185,14 @@ bool Solver::AddClause(std::vector<Lit> lits) {
   InvalidateModelCache();
   for (Lit l : lits) {
     while (l.var() >= num_vars()) NewVar();
+    // Eliminated variables no longer exist in the formula; a caller that
+    // mentions one after MarkEliminable took effect is a contract breach.
+    CCR_CHECK(!eliminated_[l.var()]);
   }
+  return AddClauseInternal(std::move(lits));
+}
+
+bool Solver::AddClauseInternal(std::vector<Lit> lits) {
   // Simplify: drop duplicate/false literals; detect tautology/satisfied.
   std::sort(lits.begin(), lits.end());
   std::vector<Lit> out;
@@ -181,8 +225,11 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     return true;
   }
   const ClauseRef c = AllocClause(out, /*learnt=*/false);
+  StoreClauseSig(c);
   clauses_.push_back(c);
-  ++fresh_clause_count_;
+  if (TrackOccurrences()) {
+    for (Lit l : out) occur_[l.var()].push_back(c);
+  }
   AttachClause(c);
   return true;
 }
@@ -291,12 +338,18 @@ void Solver::VarBump(Var v) {
 }
 
 void Solver::ClauseBump(ClauseRef c) {
-  float& act = ClauseActivity(c);
-  act += static_cast<float>(clause_inc_);
+  const float act = ClauseActivity(c) + static_cast<float>(clause_inc_);
+  SetClauseActivity(c, act);
   if (act > 1e20f) {
-    for (ClauseRef l : learnts_core_) ClauseActivity(l) *= 1e-20f;
-    for (ClauseRef l : learnts_mid_) ClauseActivity(l) *= 1e-20f;
-    for (ClauseRef l : learnts_local_) ClauseActivity(l) *= 1e-20f;
+    for (ClauseRef l : learnts_core_) {
+      SetClauseActivity(l, ClauseActivity(l) * 1e-20f);
+    }
+    for (ClauseRef l : learnts_mid_) {
+      SetClauseActivity(l, ClauseActivity(l) * 1e-20f);
+    }
+    for (ClauseRef l : learnts_local_) {
+      SetClauseActivity(l, ClauseActivity(l) * 1e-20f);
+    }
     clause_inc_ *= 1e-20;
   }
 }
@@ -385,8 +438,13 @@ void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
   (*out_learnt)[0] = ~p;
 
   // Conflict-clause minimization: drop literals implied by the rest.
+  // Snapshot the pre-minimization literals first: the loops below compact
+  // the clause in place, so dropped literals are overwritten and only this
+  // snapshot can clear their seen_ marks afterwards. A stale seen_ bit
+  // would make every later Analyze skip that variable entirely —
+  // producing learnt clauses that are not implied by the formula.
   std::vector<Lit>& learnt = *out_learnt;
-  analyze_toclear_.clear();
+  analyze_toclear_.assign(learnt.begin(), learnt.end());
   size_t keep = 1;
   if (options_.use_deep_ccmin) {
     // Recursive (deep) minimization: a literal is redundant if every
@@ -431,7 +489,6 @@ void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
     }
   }
   stats_.learnt_literals += static_cast<int64_t>(keep);
-  for (size_t k = keep; k < learnt.size(); ++k) seen_[learnt[k].var()] = 0;
   learnt.resize(keep);
 
   // Backtrack level: highest level among the non-asserting literals.
@@ -446,7 +503,8 @@ void Solver::Analyze(ClauseRef conflict, std::vector<Lit>* out_learnt,
     *out_btlevel = level_[learnt[1].var()];
   }
   *out_lbd = ComputeLbd(std::span<const Lit>(learnt.data(), learnt.size()));
-  for (Lit l : learnt) seen_[l.var()] = 0;
+  // The snapshot covers every kept literal, every dropped one, and every
+  // mark LitRedundant added.
   for (Lit l : analyze_toclear_) seen_[l.var()] = 0;
   analyze_toclear_.clear();
 }
@@ -595,12 +653,12 @@ Lit Solver::PickBranchLit() {
   if (options_.use_vsids) {
     while (!HeapEmpty()) {
       next = HeapPop();
-      if (assigns_[next] == Lbool::kUndef) break;
+      if (assigns_[next] == Lbool::kUndef && !eliminated_[next]) break;
       next = kVarUndef;
     }
   } else {
     for (Var v = 0; v < num_vars(); ++v) {
-      if (assigns_[v] == Lbool::kUndef) {
+      if (assigns_[v] == Lbool::kUndef && !eliminated_[v]) {
         next = v;
         break;
       }
@@ -670,6 +728,7 @@ void Solver::ReduceDb() {
       kept.push_back(c);
     } else {
       DetachClause(c);
+      MarkClauseDead(c);
     }
   }
   learnts.swap(kept);
@@ -716,6 +775,7 @@ void Solver::ReduceDbTiered() {
       kept.push_back(c);
     } else {
       DetachClause(c);
+      MarkClauseDead(c);
     }
   }
   learnts_local_.swap(kept);
@@ -738,6 +798,7 @@ void Solver::ReduceDbTiered() {
         kept.push_back(c);
       } else {
         DetachClause(c);
+        MarkClauseDead(c);
       }
     }
     learnts_mid_.swap(kept);
@@ -756,11 +817,45 @@ void Solver::SweepSatisfied(std::vector<ClauseRef>* list) {
     }
     if (satisfied) {
       DetachClause(c);
+      MarkClauseDead(c);
     } else {
       (*list)[j++] = c;
     }
   }
   list->resize(j);
+}
+
+void Solver::SweepSatisfiedProblem() {
+  CCR_DCHECK(DecisionLevel() == 0);
+  for (ClauseRef c : clauses_) {
+    if (ClauseDead(c)) continue;
+    const Lit* lits = ClauseLits(c);
+    const int size = ClauseSize(c);
+    bool satisfied = false;
+    for (int k = 0; k < size && !satisfied; ++k) {
+      satisfied = ValueOf(lits[k]) == Lbool::kTrue;
+    }
+    if (satisfied) {
+      DetachClause(c);
+      MarkClauseDead(c);
+    }
+  }
+  CompactProblemClauses();
+}
+
+void Solver::CompactProblemClauses() {
+  size_t j = 0;
+  size_t wm = inproc_watermark_;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    if (ClauseDead(clauses_[i])) {
+      if (i < inproc_watermark_) --wm;
+      continue;
+    }
+    clauses_[j++] = clauses_[i];
+  }
+  clauses_.resize(j);
+  inproc_watermark_ = wm;
+  CCR_DCHECK(inproc_watermark_ <= clauses_.size());
 }
 
 void Solver::RemoveSatisfiedTopLevel() {
@@ -800,19 +895,21 @@ bool Solver::Simplify() {
     return false;
   }
   RemoveSatisfiedTopLevel();
-  SweepSatisfied(&clauses_);
+  SweepSatisfiedProblem();
   if (options_.use_binary_watches) SweepBinaries();
   if (options_.use_inprocessing) {
     SubsumptionPass();
     if (ok_) VivificationPass();
   }
+  if (options_.use_bve && ok_) EliminatePass();
+  MaybeGarbageCollect();
   return ok_;
 }
 
 void Solver::PrimeInprocessing() {
   for (ClauseRef c : clauses_) SetClauseVivified(c, true);
   vivify_primed_ = true;
-  fresh_clause_count_ = 0;
+  inproc_watermark_ = clauses_.size();
   pending_bins_.clear();
 }
 
@@ -840,6 +937,7 @@ bool Solver::FreezeScope(Lit activation, std::span<const Var> vars) {
       return false;
     }
     if (val == Lbool::kUndef) UncheckedEnqueue(Lit::Neg(v), kRefUndef);
+    CCR_DCHECK(!eliminated_[v]);
     frozen_[v] = 1;
   }
   ok_ = (Propagate() == kRefUndef);
@@ -938,6 +1036,7 @@ SolveResult Solver::Search(int64_t conflict_budget,
         ReduceDb();
       }
       max_learnts_ *= 1.1;
+      MaybeGarbageCollect();
     }
 
     Lit next = kLitUndef;
@@ -961,6 +1060,7 @@ SolveResult Solver::Search(int64_t conflict_budget,
         // All variables assigned: model found.
         CacheCurrentModel();
         model_.assign(assigns_.begin(), assigns_.end());
+        if (!elim_stack_.empty()) ExtendModel(&model_);
         return SolveResult::kSat;
       }
       ++stats_.decisions;
@@ -1023,6 +1123,7 @@ SolveResult Solver::SolveLoop(std::span<const Lit> assumptions) {
   if (!ok_) return SolveResult::kUnsat;
   for (Lit a : assumptions) {
     CCR_CHECK(a.var() < num_vars());
+    CCR_CHECK(!eliminated_[a.var()]);
   }
   CancelUntil(0);
   max_learnts_ =
@@ -1073,15 +1174,20 @@ void Solver::ShrinkClause(ClauseRef c, std::span<const Lit> lits) {
     }
     return;
   }
+  CCR_DCHECK(!ClauseLearnt(c));
+  const int old_size = ClauseSize(c);
   Lit* dst = ClauseLits(c);
   std::copy(lits.begin(), lits.end(), dst);
   SetClauseSize(c, static_cast<int>(lits.size()));
+  // The abandoned tail words are dead arena weight from here on.
+  arena_dead_words_ += static_cast<size_t>(old_size) - lits.size();
   SetClauseVivified(c, false);  // a changed clause is worth revisiting
   if (lits.size() == 2 && options_.use_binary_watches) {
     MarkClauseDead(c);  // migrated out of the arena into the bin lists
     AttachBinary(lits[0], lits[1]);
     return;
   }
+  StoreClauseSig(c);
   AttachClause(c);
 }
 
@@ -1109,52 +1215,17 @@ void Solver::StrengthenClause(ClauseRef c, Lit l) {
 
 void Solver::SubsumptionPass() {
   CCR_DCHECK(DecisionLevel() == 0);
+  CCR_DCHECK(inproc_watermark_ <= clauses_.size());
   // Backward subsumption / self-subsuming resolution: the clauses the
-  // encode layer appended since the last pass act as subsumers against
-  // the whole problem DB. A subsumer C removes any D ⊇ C outright; if C
-  // matches D except for exactly one flipped literal l, resolving on l
-  // strengthens D by dropping ~l (equivalence-preserving both ways).
-  struct Item {
-    ClauseRef cref;
-    uint64_t sig;  // var-based Bloom signature
-  };
-  auto clause_sig = [this](ClauseRef c) {
-    uint64_t s = 0;
-    const Lit* lits = ClauseLits(c);
-    for (int k = 0; k < ClauseSize(c); ++k) {
-      s |= 1ull << (lits[k].var() & 63);
-    }
-    return s;
-  };
-  // Candidate lookups only ever key on a variable of some subsumer, so
-  // the occurrence lists are built for exactly those variables — for a
-  // between-round delta that is a tiny slice of the formula.
-  const size_t fresh = std::min(fresh_clause_count_, clauses_.size());
-  if (fresh == 0 && pending_bins_.empty()) return;
-  std::vector<uint8_t> sub_var(num_vars(), 0);
-  for (const auto& [a, b] : pending_bins_) {
-    sub_var[a.var()] = 1;
-    sub_var[b.var()] = 1;
-  }
-  for (size_t i = clauses_.size() - fresh; i < clauses_.size(); ++i) {
-    const ClauseRef c = clauses_[i];
-    if (ClauseDead(c)) continue;
-    const Lit* lits = ClauseLits(c);
-    for (int k = 0; k < ClauseSize(c); ++k) sub_var[lits[k].var()] = 1;
-  }
-  std::vector<Item> items;
-  items.reserve(clauses_.size());
-  std::vector<std::vector<int32_t>> occur(num_vars());
-  for (ClauseRef c : clauses_) {
-    if (ClauseDead(c)) continue;
-    const int32_t idx = static_cast<int32_t>(items.size());
-    items.push_back({c, clause_sig(c)});
-    const Lit* lits = ClauseLits(c);
-    for (int k = 0; k < ClauseSize(c); ++k) {
-      const Var v = lits[k].var();
-      if (sub_var[v]) occur[v].push_back(idx);
-    }
-  }
+  // encode layer appended since the last pass — everything at or beyond
+  // the watermark — act as subsumers against the whole problem DB. A
+  // subsumer C removes any D ⊇ C outright; if C matches D except for
+  // exactly one flipped literal l, resolving on l strengthens D by
+  // dropping ~l (equivalence-preserving both ways). Candidates come from
+  // the persistent occurrence index; dead or stale entries are purged in
+  // place as the scan walks a list.
+  const size_t fresh_begin = inproc_watermark_;
+  if (fresh_begin == clauses_.size() && pending_bins_.empty()) return;
 
   int64_t steps = 0;
   // Does the clause `sub` subsume `d` outright (return 1), subsume it
@@ -1197,7 +1268,7 @@ void Solver::SubsumptionPass() {
     int best_var = -1;
     size_t best_len = SIZE_MAX;
     for (Lit a : sub) {
-      const size_t len = occur[a.var()].size();
+      const size_t len = occur_[a.var()].size();
       if (len < best_len) {
         best_len = len;
         best_var = a.var();
@@ -1206,24 +1277,29 @@ void Solver::SubsumptionPass() {
     if (best_var < 0) return;
     uint64_t sub_sig = 0;
     for (Lit a : sub) sub_sig |= 1ull << (a.var() & 63);
-    for (const int32_t idx : occur[best_var]) {
-      Item& it = items[idx];
-      if (it.cref == self || ClauseDead(it.cref)) continue;
-      if (ClauseSize(it.cref) < static_cast<int>(sub.size())) continue;
-      if ((sub_sig & ~it.sig) != 0) continue;
+    std::vector<ClauseRef>& list = occur_[best_var];
+    size_t j = 0;
+    for (size_t i = 0; i < list.size(); ++i) {
+      const ClauseRef d = list[i];
+      if (ClauseDead(d)) continue;  // lazy purge
+      list[j++] = d;
+      if (d == self || !ok_) continue;
+      if (ClauseSize(d) < static_cast<int>(sub.size())) continue;
+      if ((sub_sig & ~ClauseSig(d)) != 0) continue;
       Lit flip = kLitUndef;
-      const int verdict = subsume_check(sub, it.cref, &flip);
+      const int verdict = subsume_check(sub, d, &flip);
       if (verdict == 1) {
-        DetachClause(it.cref);
-        MarkClauseDead(it.cref);
+        DetachClause(d);
+        MarkClauseDead(d);
         ++stats_.subsumed;
+        --j;  // died just now: purge it from this list too
       } else if (verdict == 2) {
-        StrengthenClause(it.cref, ~flip);
+        StrengthenClause(d, ~flip);
         ++stats_.subsumed;
-        if (!ClauseDead(it.cref)) it.sig = clause_sig(it.cref);
-        if (!ok_) return;
+        if (ClauseDead(d)) --j;  // shrank to unit/binary or was satisfied
       }
     }
+    list.resize(j);
   };
 
   // New binary clauses first (the currency-order encodings are dominated
@@ -1234,23 +1310,18 @@ void Solver::SubsumptionPass() {
     run_subsumer(std::span<const Lit>(sub, 2), kRefUndef);
   }
   pending_bins_.clear();
-  for (size_t i = clauses_.size() - fresh; i < clauses_.size(); ++i) {
+  for (size_t i = fresh_begin; i < clauses_.size(); ++i) {
     if (steps > kSubsumptionStepBudget || !ok_) break;
     const ClauseRef c = clauses_[i];
     if (ClauseDead(c)) continue;
     run_subsumer(
         std::span<const Lit>(ClauseLits(c), ClauseSize(c)), c);
   }
-  fresh_clause_count_ = 0;
 
   // Strengthening may have queued units; fold them in.
   if (ok_ && Propagate() != kRefUndef) ok_ = false;
-  // Compact the clause list (dead clauses are already detached).
-  size_t j = 0;
-  for (ClauseRef c : clauses_) {
-    if (!ClauseDead(c)) clauses_[j++] = c;
-  }
-  clauses_.resize(j);
+  CompactProblemClauses();
+  inproc_watermark_ = clauses_.size();
 }
 
 void Solver::VivificationPass() {
@@ -1319,11 +1390,297 @@ void Solver::VivificationPass() {
     // Keep the level-0 fixpoint before the next clause's decisions.
     if (ok_ && Propagate() != kRefUndef) ok_ = false;
   }
+  CompactProblemClauses();
+}
+
+// --- arena garbage collection --------------------------------------------
+
+Solver::ClauseRef Solver::RelocateClause(ClauseRef c) {
+  if (arena_[c] == kMovedHeader) return arena_[c + 1];
+  const ClauseRef nc = static_cast<ClauseRef>(arena_tmp_.size());
+  CCR_CHECK(nc < kRefBinaryFlag);
+  const size_t words = 3 + static_cast<size_t>(ClauseSize(c));
+  arena_tmp_.insert(arena_tmp_.end(), arena_.begin() + c,
+                    arena_.begin() + c + words);
+  arena_[c] = kMovedHeader;
+  arena_[c + 1] = nc;
+  return nc;
+}
+
+void Solver::GarbageCollect() {
+  if (arena_.empty()) return;
+  const size_t old_words = arena_.size();
+  arena_tmp_.clear();
+  arena_tmp_.reserve(old_words - std::min(arena_dead_words_, old_words));
+  // Relocate in list order: clause order — and with it watcher and
+  // occurrence order — is identical before and after, which keeps the
+  // collection search-neutral.
+  size_t wm = inproc_watermark_;
   size_t j = 0;
-  for (ClauseRef c : clauses_) {
-    if (!ClauseDead(c)) clauses_[j++] = c;
+  for (size_t i = 0; i < clauses_.size(); ++i) {
+    const ClauseRef c = clauses_[i];
+    if (ClauseDead(c)) {
+      if (i < inproc_watermark_) --wm;
+      continue;
+    }
+    clauses_[j++] = RelocateClause(c);
   }
   clauses_.resize(j);
+  inproc_watermark_ = wm;
+  CCR_DCHECK(inproc_watermark_ <= clauses_.size());
+  for (std::vector<ClauseRef>* list :
+       {&learnts_core_, &learnts_mid_, &learnts_local_}) {
+    size_t k = 0;
+    for (ClauseRef c : *list) {
+      if (ClauseDead(c)) continue;
+      (*list)[k++] = RelocateClause(c);
+    }
+    list->resize(k);
+  }
+  // Every watched clause is live (each MarkClauseDead site detaches), so
+  // every watcher's target has a forwarding ref by now.
+  for (std::vector<Watcher>& ws : watches_) {
+    for (Watcher& w : ws) {
+      CCR_DCHECK(arena_[w.cref] == kMovedHeader);
+      w.cref = arena_[w.cref + 1];
+    }
+  }
+  for (Var v = 0; v < num_vars(); ++v) {
+    const ClauseRef r = reason_[v];
+    if (r == kRefUndef || r == kRefBinConflict || RefIsBinary(r)) continue;
+    if (arena_[r] == kMovedHeader) {
+      reason_[v] = arena_[r + 1];
+    } else {
+      // A dead reason can only hang off an unassigned or level-0
+      // variable (live reasons are pinned by the reduce passes, and the
+      // level-0 sweeps run with no deeper assignments outstanding), and
+      // conflict analysis never dereferences level-0 reasons.
+      CCR_DCHECK(assigns_[v] == Lbool::kUndef || level_[v] == 0);
+      reason_[v] = kRefUndef;
+    }
+  }
+  arena_.swap(arena_tmp_);
+  arena_tmp_.clear();
+  arena_tmp_.shrink_to_fit();
+  // ClauseLits reads arena_, so the rebuild has to follow the swap.
+  if (TrackOccurrences()) RebuildOccurrenceIndex();
+  stats_.gc_reclaimed_words += static_cast<int64_t>(old_words - arena_.size());
+  ++stats_.gc_runs;
+  arena_dead_words_ = 0;
+}
+
+void Solver::MaybeGarbageCollect() {
+  if (!options_.use_arena_gc || arena_dead_words_ == 0) return;
+  if (static_cast<double>(arena_dead_words_) <=
+      options_.gc_frac * static_cast<double>(arena_.size())) {
+    return;
+  }
+  GarbageCollect();
+}
+
+void Solver::RebuildOccurrenceIndex() {
+  for (std::vector<ClauseRef>& o : occur_) o.clear();
+  // Iterating clauses_ reproduces clause-addition order, the same order
+  // the incremental appends in AddClauseInternal produce.
+  for (ClauseRef c : clauses_) {
+    const Lit* lits = ClauseLits(c);
+    for (int k = 0; k < ClauseSize(c); ++k) {
+      occur_[lits[k].var()].push_back(c);
+    }
+  }
+}
+
+// --- bounded variable elimination ----------------------------------------
+
+void Solver::MarkEliminable(Var v) {
+  CCR_CHECK(v >= 0 && v < num_vars());
+  if (eliminable_[v]) return;
+  eliminable_[v] = 1;
+  elim_candidates_.push_back(v);
+}
+
+void Solver::EliminatePass() {
+  CCR_DCHECK(DecisionLevel() == 0);
+  if (!ok_ || elim_candidates_.empty()) return;
+  bool any = false;
+  size_t keep = 0;
+  for (Var v : elim_candidates_) {
+    if (eliminated_[v] || frozen_[v] || assigns_[v] != Lbool::kUndef) {
+      continue;  // fixed or released: nothing left to eliminate
+    }
+    if (TryEliminateVar(v)) {
+      any = true;
+      if (!ok_) break;
+      continue;
+    }
+    elim_candidates_[keep++] = v;  // over limits now; retry next round
+  }
+  elim_candidates_.resize(keep);
+  if (!any) return;
+  // Learnt clauses are implied, so they never joined the elimination —
+  // but any that still mention an eliminated variable would pin it in
+  // the search and must go.
+  for (std::vector<ClauseRef>* list :
+       {&learnts_core_, &learnts_mid_, &learnts_local_}) {
+    size_t j = 0;
+    for (ClauseRef c : *list) {
+      if (ClauseDead(c)) continue;
+      const Lit* lits = ClauseLits(c);
+      const int size = ClauseSize(c);
+      bool touches = false;
+      for (int k = 0; k < size && !touches; ++k) {
+        touches = eliminated_[lits[k].var()] != 0;
+      }
+      if (touches) {
+        DetachClause(c);
+        MarkClauseDead(c);
+        continue;
+      }
+      (*list)[j++] = c;
+    }
+    list->resize(j);
+  }
+  CompactProblemClauses();
+}
+
+bool Solver::TryEliminateVar(Var v) {
+  CCR_DCHECK(assigns_[v] == Lbool::kUndef);
+  // Gather the clauses containing v. The occurrence index is lazy:
+  // entries may be dead, or may no longer contain v after strengthening
+  // — verify both before counting them.
+  std::vector<std::vector<Lit>> pos, neg;
+  std::vector<ClauseRef> refs;
+  for (ClauseRef c : occur_[v]) {
+    if (ClauseDead(c)) continue;
+    const Lit* lits = ClauseLits(c);
+    const int size = ClauseSize(c);
+    Lit vlit = kLitUndef;
+    for (int k = 0; k < size; ++k) {
+      if (lits[k].var() == v) {
+        vlit = lits[k];
+        break;
+      }
+    }
+    if (vlit == kLitUndef) continue;  // stale entry: strengthened away
+    refs.push_back(c);
+    std::vector<Lit> cl(lits, lits + size);
+    (vlit.negated() ? neg : pos).push_back(std::move(cl));
+  }
+  // Binary implication lists hold the rest — including learnt binaries,
+  // which is sound: resolving implied clauses yields implied resolvents,
+  // and saving them only over-constrains the reconstruction.
+  const Lit pv = Lit::Pos(v);
+  const Lit nv = Lit::Neg(v);
+  for (Lit q : bins_[nv.index()]) pos.push_back({pv, q});  // (v ∨ q)
+  for (Lit q : bins_[pv.index()]) neg.push_back({nv, q});  // (¬v ∨ q)
+  if (pos.size() > kBveOccLimit || neg.size() > kBveOccLimit) return false;
+
+  // Build the resolvent set; bail on growth before mutating anything.
+  std::vector<std::vector<Lit>> resolvents;
+  for (const std::vector<Lit>& p : pos) {
+    for (const std::vector<Lit>& n : neg) {
+      std::vector<Lit> r;
+      bool taut = false;
+      for (Lit l : p) {
+        if (l.var() != v) r.push_back(l);
+      }
+      for (Lit l : n) {
+        if (l.var() == v) continue;
+        bool dup = false;
+        for (Lit x : r) {
+          if (x == l) {
+            dup = true;
+            break;
+          }
+          if (x == ~l) {
+            taut = true;
+            break;
+          }
+        }
+        if (taut) break;
+        if (!dup) r.push_back(l);
+      }
+      if (taut) continue;
+      if (r.size() > kBveResolventLitCap) return false;
+      resolvents.push_back(std::move(r));
+      if (resolvents.size() > pos.size() + neg.size()) return false;
+    }
+  }
+
+  // Commit. Save the removed clauses for model reconstruction first.
+  ElimRecord rec;
+  rec.v = v;
+  rec.clauses.reserve(pos.size() + neg.size());
+  for (std::vector<Lit>& cl : pos) rec.clauses.push_back(std::move(cl));
+  for (std::vector<Lit>& cl : neg) rec.clauses.push_back(std::move(cl));
+  elim_stack_.push_back(std::move(rec));
+  for (ClauseRef c : refs) {
+    DetachClause(c);
+    MarkClauseDead(c);
+  }
+  // Binary surgery: drop v's clauses from the partner lists, then v's
+  // own lists wholesale. A partner q never has q.var() == v (tautologies
+  // and duplicate literals are rejected at AddClause), so the lists
+  // being iterated are never the ones edited.
+  auto remove_one = [this](Lit from, Lit what) {
+    std::vector<Lit>& list = bins_[from.index()];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == what) {
+        list[i] = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+    CCR_DCHECK(false);
+  };
+  for (Lit q : bins_[nv.index()]) remove_one(~q, pv);
+  for (Lit q : bins_[pv.index()]) remove_one(~q, nv);
+  bins_[nv.index()].clear();
+  bins_[pv.index()].clear();
+  occur_[v].clear();
+  eliminated_[v] = 1;
+  ++stats_.bve_eliminated;
+  for (std::vector<Lit>& r : resolvents) {
+    ++stats_.bve_resolvents;
+    if (!AddClauseInternal(std::move(r)) && !ok_) break;
+  }
+  return true;
+}
+
+void Solver::ExtendModel(std::vector<Lbool>* model) const {
+  // Newest elimination first: a saved clause can mention variables
+  // eliminated later (their records are below on the stack — processed
+  // already), never ones eliminated earlier (those were gone from the
+  // formula when this record's clauses were saved).
+  for (auto it = elim_stack_.rbegin(); it != elim_stack_.rend(); ++it) {
+    const Var v = it->v;
+    if (static_cast<size_t>(v) >= model->size()) continue;
+    if ((*model)[v] != Lbool::kUndef) continue;
+    Lbool val = Lbool::kFalse;
+    [[maybe_unused]] bool forced = false;
+    for (const std::vector<Lit>& cl : it->clauses) {
+      Lit vlit = kLitUndef;
+      bool satisfied = false;
+      for (Lit l : cl) {
+        if (l.var() == v) {
+          vlit = l;
+          continue;
+        }
+        if (LboolOf((*model)[l.var()], l.negated()) == Lbool::kTrue) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      CCR_DCHECK(vlit != kLitUndef);
+      const Lbool need = vlit.negated() ? Lbool::kFalse : Lbool::kTrue;
+      // The resolvent set guarantees one value satisfies every clause.
+      CCR_DCHECK(!forced || val == need);
+      forced = true;
+      val = need;
+    }
+    (*model)[v] = val;
+  }
 }
 
 }  // namespace ccr::sat

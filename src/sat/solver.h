@@ -23,6 +23,8 @@
 #ifndef CCR_SAT_SOLVER_H_
 #define CCR_SAT_SOLVER_H_
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
 #include <initializer_list>
 #include <span>
@@ -71,6 +73,22 @@ struct SolverOptions {
   /// satisfiable, and each real solve's model witnesses many later ones.
   /// The verdict is exact either way, so results cannot change.
   bool use_model_cache = true;
+  /// Compacting arena garbage collection: once the words owned by dead
+  /// clauses (removed, subsumed, shrunk, eliminated) exceed gc_frac of
+  /// the arena, live clauses relocate into a fresh arena and every
+  /// ClauseRef holder — watch lists, reason slots, learnt tiers, the
+  /// occurrence index — is rewritten. Triggered from Simplify() and after
+  /// learnt-DB reductions; list and watcher order is preserved, so GC
+  /// changes memory and time only, never a verdict or a model.
+  bool use_arena_gc = true;
+  double gc_frac = 0.25;
+  /// Bounded variable elimination (SatELite-style) as an inprocessing
+  /// step over variables the caller declared disposable via
+  /// MarkEliminable(): a variable is resolved away when the resolvents do
+  /// not grow the clause count. A model-reconstruction stack keeps
+  /// ModelValue exact for eliminated variables, so cached-model
+  /// witnesses and downstream model extraction stay valid.
+  bool use_bve = true;
   double var_decay = 0.95;
   double clause_decay = 0.999;
   int64_t max_conflicts = -1;     // < 0 means unlimited
@@ -88,6 +106,8 @@ struct SolverOptions {
     o.use_deep_ccmin = false;
     o.use_inprocessing = false;
     o.use_model_cache = false;
+    o.use_arena_gc = false;
+    o.use_bve = false;
     return o;
   }
 };
@@ -127,6 +147,14 @@ struct SolverStats {
   /// Assumption solves answered from the cached-model pool without any
   /// search (use_model_cache).
   int64_t model_cache_hits = 0;
+  /// Arena garbage collections run, and the arena words they reclaimed
+  /// (use_arena_gc).
+  int64_t gc_runs = 0;
+  int64_t gc_reclaimed_words = 0;
+  /// Bounded variable elimination: variables resolved away, and the
+  /// resolvent clauses added back in their place (use_bve).
+  int64_t bve_eliminated = 0;
+  int64_t bve_resolvents = 0;
 
   /// Component-wise difference (for per-call and per-phase deltas).
   SolverStats operator-(const SolverStats& o) const {
@@ -143,7 +171,11 @@ struct SolverStats {
             learnt_local - o.learnt_local,
             subsumed - o.subsumed,
             vivified - o.vivified,
-            model_cache_hits - o.model_cache_hits};
+            model_cache_hits - o.model_cache_hits,
+            gc_runs - o.gc_runs,
+            gc_reclaimed_words - o.gc_reclaimed_words,
+            bve_eliminated - o.bve_eliminated,
+            bve_resolvents - o.bve_resolvents};
   }
 
   /// Component-wise sum (for pooling per-phase deltas across rounds and
@@ -163,6 +195,10 @@ struct SolverStats {
     subsumed += o.subsumed;
     vivified += o.vivified;
     model_cache_hits += o.model_cache_hits;
+    gc_runs += o.gc_runs;
+    gc_reclaimed_words += o.gc_reclaimed_words;
+    bve_eliminated += o.bve_eliminated;
+    bve_resolvents += o.bve_resolvents;
     return *this;
   }
 };
@@ -277,15 +313,46 @@ class Solver {
   /// back-to-back ResolutionSessions without re-allocating from cold.
   void Reset(SolverOptions options = {});
 
+  /// Compacts the clause arena: live clauses move into a fresh arena and
+  /// every ClauseRef holder — watch lists, reason slots, the learnt
+  /// tiers, the occurrence index — is rewritten to the relocated
+  /// references. (The cached-model pool holds no references, only
+  /// per-variable values, so it survives untouched.) Runs automatically
+  /// under SolverOptions::use_arena_gc / gc_frac; public so tests and
+  /// benches can force a relocation. Order inside every clause list and
+  /// watch list is preserved, which makes the collection search-neutral:
+  /// every later decision, propagation and verdict is identical to a run
+  /// that never collected.
+  void GarbageCollect();
+
+  /// Declares `v` a candidate for bounded variable elimination
+  /// (use_bve): the caller promises `v` is never assumed and never
+  /// appears in a clause added after this call (both checked). Once
+  /// inprocessing resolves `v` away, ModelValue(v) stays exact through
+  /// the model-reconstruction stack.
+  void MarkEliminable(Var v);
+  bool VarEliminated(Var v) const { return eliminated_[v] != 0; }
+
+  /// Arena occupancy in 32-bit words: current size, size minus the dead
+  /// words awaiting collection, and the lifetime high-water mark. The
+  /// long-lived-session soak asserts arena_words() stays within a small
+  /// factor of arena_live_words() when the GC is on.
+  size_t arena_words() const { return arena_.size(); }
+  size_t arena_live_words() const { return arena_.size() - arena_dead_words_; }
+  size_t arena_peak_words() const { return arena_peak_words_; }
+
  private:
   // --- clause arena ----------------------------------------------------
   //
   // Arena layout per clause: [size<<3 | vivified<<2 | dead<<1 |
-  // learnt][activity bits][lbd][lits...]. `dead` marks clauses removed by
-  // inprocessing (already detached; their arena words are simply never
-  // reclaimed until Reset); `vivified` marks clauses the vivification
-  // pass has already distilled, so later passes skip them until a
-  // strengthening changes them again.
+  // learnt][activity bits / sig lo][lbd / sig hi][lits...]. `dead` marks
+  // clauses removed by deletion or inprocessing (already detached; their
+  // words are accounted in arena_dead_words_ and reclaimed by
+  // GarbageCollect); `vivified` marks clauses the vivification pass has
+  // already distilled, so later passes skip them until a strengthening
+  // changes them again. Learnt clauses use words 1–2 for activity and
+  // LBD; problem clauses never do, so the subsumption pass stores their
+  // 64-bit variable signature there instead.
   //
   // Reason encoding: a reason is either an arena reference (< 2^31 —
   // checked at allocation), the literal-encoded reason of a binary
@@ -311,7 +378,12 @@ class Solver {
   int ClauseSize(ClauseRef c) const { return arena_[c] >> 3; }
   bool ClauseLearnt(ClauseRef c) const { return arena_[c] & 1; }
   bool ClauseDead(ClauseRef c) const { return arena_[c] & 2; }
-  void MarkClauseDead(ClauseRef c) { arena_[c] |= 2; }
+  void MarkClauseDead(ClauseRef c) {
+    if (!(arena_[c] & 2)) {
+      arena_dead_words_ += 3 + static_cast<size_t>(ClauseSize(c));
+      arena_[c] |= 2;
+    }
+  }
   bool ClauseVivified(ClauseRef c) const { return arena_[c] & 4; }
   void SetClauseVivified(ClauseRef c, bool on) {
     if (on) {
@@ -329,9 +401,22 @@ class Solver {
   const Lit* ClauseLits(ClauseRef c) const {
     return reinterpret_cast<const Lit*>(&arena_[c + 3]);
   }
-  float& ClauseActivity(ClauseRef c) {
-    return *reinterpret_cast<float*>(&arena_[c + 1]);
+  // Activity is a float stored in a uint32_t arena word; std::bit_cast is
+  // the strict-aliasing-clean way to view it (a reinterpret_cast through
+  // float* here is UB under -fstrict-aliasing).
+  float ClauseActivity(ClauseRef c) const {
+    return std::bit_cast<float>(arena_[c + 1]);
   }
+  void SetClauseActivity(ClauseRef c, float a) {
+    arena_[c + 1] = std::bit_cast<uint32_t>(a);
+  }
+  // Problem-clause variable signature (Bloom filter over var % 64),
+  // cached in the unused activity/LBD words at AddClause and kept fresh
+  // on every strengthening, so the subsumption pass never rebuilds it.
+  uint64_t ClauseSig(ClauseRef c) const {
+    return arena_[c + 1] | (static_cast<uint64_t>(arena_[c + 2]) << 32);
+  }
+  void StoreClauseSig(ClauseRef c);
   uint32_t ClauseLbd(ClauseRef c) const { return arena_[c + 2]; }
   void SetClauseLbd(ClauseRef c, uint32_t lbd) { arena_[c + 2] = lbd; }
 
@@ -362,7 +447,34 @@ class Solver {
   void ReduceDbTiered();
   void RemoveSatisfiedTopLevel();
   void SweepSatisfied(std::vector<ClauseRef>* list);
+  void SweepSatisfiedProblem();
   void SweepBinaries();
+  // Shared tail of AddClause: simplify, allocate, index, attach. The
+  // internal entry point is what BVE uses to insert resolvents — they are
+  // implied by the clauses they replace, so it must NOT invalidate the
+  // model cache the way a genuine caller-added clause does.
+  bool AddClauseInternal(std::vector<Lit> lits);
+
+  // --- arena lifecycle --------------------------------------------------
+  // Whether the persistent occurrence index is maintained at all: both
+  // the subsumption pass and variable elimination consume it.
+  bool TrackOccurrences() const {
+    return options_.use_inprocessing || options_.use_bve;
+  }
+  void MaybeGarbageCollect();
+  ClauseRef RelocateClause(ClauseRef c);
+  // Drops dead entries from clauses_, shifting inproc_watermark_ by the
+  // number removed below it — the exact accounting that replaces the old
+  // drifting fresh-clause counter.
+  void CompactProblemClauses();
+  void RebuildOccurrenceIndex();
+
+  // --- bounded variable elimination ------------------------------------
+  void EliminatePass();
+  bool TryEliminateVar(Var v);
+  // Fills the eliminated variables of `model` (processed newest
+  // elimination first) with values satisfying their saved clauses.
+  void ExtendModel(std::vector<Lbool>* model) const;
   size_t NumReducibleLearnts() const {
     return learnts_mid_.size() + learnts_local_.size();
   }
@@ -478,15 +590,43 @@ class Solver {
   double max_learnts_ = 0;
   int64_t reduce_calls_ = 0;
 
-  // Inprocessing bookkeeping: how many clauses_ entries were appended
-  // since the last subsumption pass (those act as the subsumers), and the
-  // problem binaries added since then (binaries bypass the arena under
-  // binary watches, so they are tracked separately).
-  size_t fresh_clause_count_ = 0;
+  // Inprocessing bookkeeping: clauses_[inproc_watermark_..] are the
+  // entries appended since the last subsumption pass (those act as the
+  // subsumers). Every clauses_ compaction adjusts the watermark by the
+  // number of entries dropped below it, so the delta is exact — no
+  // clamping, no drift. Problem binaries added since the last pass ride
+  // in pending_bins_ (they bypass the arena under binary watches).
+  size_t inproc_watermark_ = 0;
   std::vector<std::pair<Lit, Lit>> pending_bins_;
   // False until the first vivification pass, which stamps the initial
   // encoding as seen instead of distilling it wholesale.
   bool vivify_primed_ = false;
+
+  // Arena lifecycle: words owned by dead clauses and shrunk tails (live =
+  // arena_.size() - arena_dead_words_), the lifetime high-water mark, and
+  // the relocation target recycled across collections.
+  size_t arena_dead_words_ = 0;
+  size_t arena_peak_words_ = 0;
+  std::vector<uint32_t> arena_tmp_;
+
+  // Persistent occurrence index over the problem clauses (maintained
+  // whenever inprocessing or BVE is on): occur_[v] lists every arena
+  // clause containing v in clause-addition order, appended at AddClause,
+  // purged lazily when dead entries are scanned, and rebuilt exactly —
+  // same order — by GarbageCollect.
+  std::vector<std::vector<ClauseRef>> occur_;
+
+  // Bounded variable elimination state. The stack records every clause
+  // removed with its variable; ExtendModel replays it newest-first to
+  // give eliminated variables exact model values.
+  std::vector<uint8_t> eliminable_;   // per var: MarkEliminable called
+  std::vector<uint8_t> eliminated_;   // per var: resolved away
+  std::vector<Var> elim_candidates_;  // marked, not yet eliminated
+  struct ElimRecord {
+    Var v;
+    std::vector<std::vector<Lit>> clauses;
+  };
+  std::vector<ElimRecord> elim_stack_;
 };
 
 /// \brief A batch of temporary variables and clauses on a persistent

@@ -240,6 +240,34 @@ TEST(SolverTest, ImplicationDetectionViaAssumptions) {
   EXPECT_EQ(s.SolveWithAssumptions({Lit::Pos(b)}), SolveResult::kSat);
 }
 
+TEST(SolverTest, MinimizationStaleSeenRegression) {
+  // Distilled from a random-3SAT failure: minimization dropped a literal
+  // from a learnt clause, and the in-place compaction then cleared seen_
+  // for the shifted tail instead of the dropped literal. The stale mark
+  // made the next Analyze skip that variable entirely, learning a unit
+  // the formula does not imply — and the solver answered UNSAT on this
+  // satisfiable instance. Both minimization modes shared the cleanup.
+  constexpr char kDimacs[] =
+      "-7 0 12 -3 13 0 8 0 -10 5 0 -11 3 12 0 -15 -14 0 10 -13 0 -7 0 "
+      "-10 -6 -14 0 -11 10 0 -5 10 0 -13 -15 0 12 6 0 3 2 0 8 0 6 11 0 "
+      "14 -13 0 -15 -14 0 1 13 0 12 6 0 3 -15 0 -12 2 0 13 3 0 -3 16 0 "
+      "-12 -16 -10 0 -12 -1 -14 0 11 -2 0\n";
+  auto cnf = FromDimacs(kDimacs);
+  ASSERT_TRUE(cnf.ok());
+  for (const bool deep : {false, true}) {
+    SolverOptions opts = SolverOptions::LegacyHeuristics();
+    opts.use_deep_ccmin = deep;
+    Solver s(opts);
+    s.AddCnf(*cnf);
+    ASSERT_EQ(s.Solve(), SolveResult::kSat) << "deep_ccmin=" << deep;
+    EXPECT_TRUE(ModelSatisfies(*cnf, s)) << "deep_ccmin=" << deep;
+  }
+  Solver modern;
+  modern.AddCnf(*cnf);
+  ASSERT_EQ(modern.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(ModelSatisfies(*cnf, modern));
+}
+
 // Random 3-SAT cross-checked against brute force under every feature
 // configuration — the classic MiniSat toggles plus each modernization
 // flag (binary watches, LBD tiers, EMA restarts, deep ccmin, witness
@@ -257,6 +285,8 @@ struct FuzzParams {
   bool inprocessing = true;
   bool model_cache = true;
   bool simplify_midway = false;  // feed half, Simplify (inprocess), rest
+  bool eager_gc = false;         // gc_frac = 0: compact at every chance
+  bool mark_eliminable = false;  // BVE a third of the vars, then solve
 };
 
 class SolverFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
@@ -268,7 +298,8 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
           (p.binary_watches ? 16 : 0) + (p.lbd_tiers ? 32 : 0) +
           (p.ema_restarts ? 64 : 0) + (p.deep_ccmin ? 128 : 0) +
           (p.inprocessing ? 1024 : 0) + (p.model_cache ? 256 : 0) +
-          (p.simplify_midway ? 512 : 0));
+          (p.simplify_midway ? 512 : 0) + (p.eager_gc ? 2048 : 0) +
+          (p.mark_eliminable ? 4096 : 0));
   int sat_count = 0, unsat_count = 0;
   for (int round = 0; round < 150; ++round) {
     const int n_vars = 3 + static_cast<int>(rng.Below(10));
@@ -295,6 +326,7 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
     opts.use_deep_ccmin = p.deep_ccmin;
     opts.use_inprocessing = p.inprocessing;
     opts.use_model_cache = p.model_cache;
+    if (p.eager_gc) opts.gc_frac = 0.0;
     Solver solver(opts);
     bool alive = true;
     if (p.simplify_midway) {
@@ -316,6 +348,12 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
       if (alive) alive = solver.Simplify();
     } else {
       solver.AddCnf(cnf);
+    }
+    if (p.mark_eliminable && alive) {
+      // Resolve away a third of the variables; answers and models (via
+      // the reconstruction stack) must still match the full formula.
+      for (Var v = 0; v < cnf.num_vars(); v += 3) solver.MarkEliminable(v);
+      alive = solver.Simplify();
     }
     const bool expected = BruteForceSat(cnf);
     const SolveResult got = solver.Solve();
@@ -346,6 +384,14 @@ INSTANTIATE_TEST_SUITE_P(
         FuzzParams{.deep_ccmin = false},
         FuzzParams{.model_cache = false},
         FuzzParams{.simplify_midway = true},
+        // Arena compaction at every opportunity, alone and on top of the
+        // half-loaded inprocessing path.
+        FuzzParams{.eager_gc = true},
+        FuzzParams{.simplify_midway = true, .eager_gc = true},
+        // Bounded variable elimination, with and without eager GC over
+        // the freshly rewritten arena.
+        FuzzParams{.mark_eliminable = true},
+        FuzzParams{.eager_gc = true, .mark_eliminable = true},
         // Fully legacy: the 2003-era solver this repo started from.
         FuzzParams{.vsids = false, .phase_saving = false, .restarts = false,
                    .deletion = false, .binary_watches = false,

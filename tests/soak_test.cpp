@@ -1,0 +1,235 @@
+// Long-lived session soak (the PR-6 memory-lifecycle contract): hundreds
+// of oracle-answer rounds against ONE persistent session must
+//   * keep the solver arena bounded — compacting GC holds the high-water
+//     mark within 2x of the live clause words,
+//   * change no result whatsoever — every validity verdict, every deduced
+//     order, and the serialized ExperimentResult bytes are identical with
+//     arena GC + BVE on, off, or maximally eager,
+//   * keep the incremental model cache effective across relocations, and
+//   * never fall back to a session rebuild.
+//
+// The churn mimics what a real resolution service produces (§III Remark
+// (1)): each round appends a tuple carrying the ground-truth value of one
+// attribute, dominating every prior tuple on that attribute. Truth
+// answers stay consistent forever, while the unit cascades they trigger
+// keep satisfying old clauses and retiring guards — dead arena words.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/core/session.h"
+#include "src/data/dataset.h"
+#include "src/data/person_generator.h"
+#include "src/eval/experiment.h"
+#include "src/eval/result_io.h"
+
+namespace ccr {
+namespace {
+
+constexpr int kSoakRounds = 240;
+
+// Generous additive slack on the 2x bound: a single round's worth of
+// fresh clauses can land between the collector's trigger points.
+constexpr size_t kArenaSlackWords = 4096;
+
+Dataset SoakCorpus() {
+  PersonOptions opts;
+  opts.num_entities = 1;
+  opts.min_tuples = 60;
+  opts.max_tuples = 72;
+  opts.seed = 90210;
+  // Rich histories: plenty of attributes with genuine currency gaps, so
+  // answer rounds keep doing real solver work.
+  opts.p_status_gap = 0.55;
+  opts.p_move_only = 0.70;
+  return GeneratePerson(opts);
+}
+
+struct SoakOutcome {
+  bool ok = false;
+  bool arena_bound_held = true;   // per-round: arena <= 2*live + slack
+  size_t peak_words = 0;          // solver high-water mark
+  size_t final_arena_words = 0;   // footprint when the soak ended
+  size_t max_live_words = 0;      // largest live snapshot we observed
+  int64_t gc_runs = 0;
+  int64_t reclaimed_words = 0;
+  int64_t model_cache_hits = 0;
+  int64_t bve_eliminated = 0;
+  int rebuilds = 0;
+  std::vector<bool> valid_by_round;
+  // Closure of every Deduce() call, flattened as (call, attr, u, v).
+  std::vector<std::tuple<int, int, int, int>> deduced;
+};
+
+SoakOutcome RunSoak(const Specification& spec,
+                    const std::vector<Value>& truth, bool lifecycle_on,
+                    bool eager) {
+  SoakOutcome out;
+  ResolveOptions opts;
+  opts.naive_deduce = true;  // Lemma-6 churn on the persistent solver
+  opts.solver.use_arena_gc = lifecycle_on;
+  opts.solver.use_bve = lifecycle_on;
+  // The answer-round dead fraction plateaus near ~20% of the arena, so
+  // the production trigger (0.25) would coast at this scale; 0.10 makes
+  // the collector genuinely run. `eager` compacts at every opportunity.
+  if (lifecycle_on) opts.solver.gc_frac = eager ? 0.0 : 0.10;
+  auto session = ResolutionSession::Create(spec, opts);
+  if (!session.ok()) return out;
+
+  const int n_attrs = static_cast<int>(spec.schema().size());
+  int to_index = static_cast<int>(spec.instance().size());
+  int deduce_calls = 0;
+  for (int r = 0; r < kSoakRounds; ++r) {
+    int a = r % n_attrs;
+    for (int probe = 0; probe < n_attrs && truth[a].is_null(); ++probe) {
+      a = (a + 1) % n_attrs;
+    }
+    if (truth[a].is_null()) return out;
+
+    PartialTemporalOrder ot;
+    Tuple to(std::vector<Value>(n_attrs, Value::Null()));
+    to[a] = truth[a];
+    ot.new_tuples.push_back(std::move(to));
+    for (int t = 0; t < to_index; ++t) ot.orders.emplace_back(a, t, to_index);
+    if (!session->ExtendWith(ot).ok()) return out;
+    ++to_index;
+
+    out.valid_by_round.push_back(session->CheckValidity().valid);
+    if (r % 4 == 3 || r == kSoakRounds - 1) {
+      const DeducedOrders d = session->Deduce();
+      for (size_t at = 0; at < d.per_attr.size(); ++at) {
+        const PartialOrder& po = d.per_attr[at];
+        for (int u = 0; u < po.num_elements(); ++u) {
+          for (int v = 0; v < po.num_elements(); ++v) {
+            if (po.Less(u, v)) {
+              out.deduced.emplace_back(deduce_calls, static_cast<int>(at),
+                                       u, v);
+            }
+          }
+        }
+      }
+      ++deduce_calls;
+    }
+
+    const sat::Solver& solver = session->solver();
+    const size_t live = solver.arena_live_words();
+    out.max_live_words = std::max(out.max_live_words, live);
+    if (lifecycle_on &&
+        solver.arena_words() > 2 * live + kArenaSlackWords) {
+      out.arena_bound_held = false;
+    }
+  }
+
+  const sat::Solver& solver = session->solver();
+  out.peak_words = solver.arena_peak_words();
+  out.final_arena_words = solver.arena_words();
+  out.gc_runs = solver.stats().gc_runs;
+  out.reclaimed_words = solver.stats().gc_reclaimed_words;
+  out.model_cache_hits = solver.stats().model_cache_hits;
+  out.bve_eliminated = solver.stats().bve_eliminated;
+  out.rebuilds = session->rebuilds();
+  out.ok = true;
+  return out;
+}
+
+// The soak is deterministic, so run each configuration once and share the
+// outcome across the assertions below.
+const SoakOutcome& Soak(bool lifecycle_on, bool eager = false) {
+  static const Dataset ds = SoakCorpus();
+  static const SoakOutcome on =
+      RunSoak(ds.MakeSpec(0), ds.entities[0].truth, true, false);
+  static const SoakOutcome off =
+      RunSoak(ds.MakeSpec(0), ds.entities[0].truth, false, false);
+  static const SoakOutcome eager_on =
+      RunSoak(ds.MakeSpec(0), ds.entities[0].truth, true, true);
+  return lifecycle_on ? (eager ? eager_on : on) : off;
+}
+
+TEST(SessionSoakTest, ArenaStaysBoundedOverHundredsOfRounds) {
+  const SoakOutcome& on = Soak(true);
+  ASSERT_TRUE(on.ok);
+  EXPECT_GE(on.gc_runs, 1);
+  EXPECT_GT(on.reclaimed_words, 0);
+  EXPECT_TRUE(on.arena_bound_held);
+  EXPECT_LE(on.peak_words, 2 * on.max_live_words + kArenaSlackWords);
+  EXPECT_EQ(on.rebuilds, 0);
+}
+
+TEST(SessionSoakTest, LifecycleOffGrowsButStillNeverRebuilds) {
+  const SoakOutcome& off = Soak(false);
+  ASSERT_TRUE(off.ok);
+  EXPECT_EQ(off.gc_runs, 0);
+  EXPECT_EQ(off.reclaimed_words, 0);
+  EXPECT_EQ(off.rebuilds, 0);
+  // The control run demonstrates the leak the collector exists to stop:
+  // without GC the arena never shrinks (the footprint IS the high-water
+  // mark), while the collected run ends strictly smaller.
+  EXPECT_EQ(off.final_arena_words, off.peak_words);
+  const SoakOutcome& on = Soak(true);
+  EXPECT_GE(off.peak_words, on.peak_words);
+  EXPECT_LT(on.final_arena_words, off.final_arena_words);
+}
+
+TEST(SessionSoakTest, LifecycleFeaturesAreResultNeutral) {
+  const SoakOutcome& on = Soak(true);
+  const SoakOutcome& off = Soak(false);
+  const SoakOutcome& eager = Soak(true, /*eager=*/true);
+  ASSERT_TRUE(on.ok);
+  ASSERT_TRUE(off.ok);
+  ASSERT_TRUE(eager.ok);
+  EXPECT_EQ(on.valid_by_round, off.valid_by_round);
+  EXPECT_EQ(on.deduced, off.deduced);
+  EXPECT_EQ(eager.valid_by_round, off.valid_by_round);
+  EXPECT_EQ(eager.deduced, off.deduced);
+  EXPECT_GE(eager.gc_runs, on.gc_runs);
+}
+
+TEST(SessionSoakTest, ModelCacheKeepsHittingAcrossRelocations) {
+  // Relocation rewrites every clause address the cached models were
+  // built against; the cache must keep producing hits afterwards.
+  const SoakOutcome& on = Soak(true);
+  ASSERT_TRUE(on.ok);
+  ASSERT_GE(on.gc_runs, 1);
+  EXPECT_GT(on.model_cache_hits, 0);
+  const SoakOutcome& off = Soak(false);
+  EXPECT_EQ(on.model_cache_hits, off.model_cache_hits);
+}
+
+TEST(SessionSoakTest, ExperimentBytesAreIdenticalAcrossLifecycleConfigs) {
+  // The end-to-end form of result neutrality: the serialized
+  // ExperimentResult (timings excluded) may not move by a byte whether
+  // the memory lifecycle is off, default, or maximally eager.
+  PersonOptions popts;
+  popts.num_entities = 6;
+  popts.min_tuples = 12;
+  popts.max_tuples = 40;
+  popts.seed = 4242;
+  const Dataset ds = GeneratePerson(popts);
+
+  ResultJsonOptions json_opts;
+  json_opts.include_timings = false;
+
+  auto run = [&](bool lifecycle_on, double gc_frac) {
+    ExperimentOptions eopts;
+    eopts.max_rounds = 3;
+    eopts.answers_per_round = 1;
+    eopts.resolve.solver.use_arena_gc = lifecycle_on;
+    eopts.resolve.solver.use_bve = lifecycle_on;
+    eopts.resolve.solver.gc_frac = gc_frac;
+    return ExperimentResultToJson(RunExperiment(ds, eopts), json_opts);
+  };
+
+  const std::string off = run(false, 0.25);
+  const std::string defaults = run(true, 0.25);
+  const std::string eager = run(true, 0.0);
+  EXPECT_EQ(defaults, off);
+  EXPECT_EQ(eager, off);
+}
+
+}  // namespace
+}  // namespace ccr

@@ -27,13 +27,14 @@ using sat::SolverOptions;
 using sat::Var;
 
 SolverOptions MakeOptions(bool bin, bool tiers, bool ema, bool ccmin,
-                          bool inproc, bool cache) {
+                          bool inproc, bool gc, bool cache) {
   SolverOptions o;
   o.use_binary_watches = bin;
   o.use_lbd_tiers = tiers;
   o.use_ema_restarts = ema;
   o.use_deep_ccmin = ccmin;
   o.use_inprocessing = inproc;
+  o.use_arena_gc = gc;
   o.use_model_cache = cache;
   return o;
 }
@@ -77,7 +78,7 @@ std::string ResolveCorpusToJson(const Dataset& ds,
   return ExperimentResultToJson(r, jopts);
 }
 
-// The CI gate of this PR: every combination of the five modernization
+// The CI gate of this PR: every combination of the six modernization
 // flags (with the witness cache on, the default) plus the fully-legacy
 // and cache-less-modern spot checks produce byte-identical
 // ExperimentResults on all three corpora.
@@ -85,10 +86,10 @@ TEST(SolverAblationEquivalenceTest, EveryOptionComboResolvesIdentically) {
   for (const std::string kind : {"person", "nba", "career"}) {
     const Dataset ds = AblationCorpus(kind);
     const std::string baseline = ResolveCorpusToJson(ds, SolverOptions{});
-    for (int mask = 0; mask < 32; ++mask) {
+    for (int mask = 0; mask < 64; ++mask) {
       const SolverOptions opts =
           MakeOptions(mask & 1, mask & 2, mask & 4, mask & 8, mask & 16,
-                      /*cache=*/true);
+                      mask & 32, /*cache=*/true);
       EXPECT_EQ(ResolveCorpusToJson(ds, opts), baseline)
           << kind << " flag mask " << mask;
     }
@@ -99,9 +100,20 @@ TEST(SolverAblationEquivalenceTest, EveryOptionComboResolvesIdentically) {
               baseline)
         << kind << " legacy, no cache";
     EXPECT_EQ(ResolveCorpusToJson(
-                  ds, MakeOptions(true, true, true, true, true, false)),
+                  ds, MakeOptions(true, true, true, true, true, true, false)),
               baseline)
         << kind << " modern, no cache";
+    // Collector pressure extremes: compact at every opportunity
+    // (gc_frac = 0 fires on the first dead word) and bounded variable
+    // elimination off — the arena lifecycle may never move a result.
+    SolverOptions eager_gc;
+    eager_gc.gc_frac = 0.0;
+    EXPECT_EQ(ResolveCorpusToJson(ds, eager_gc), baseline)
+        << kind << " eager gc";
+    SolverOptions no_bve;
+    no_bve.use_bve = false;
+    EXPECT_EQ(ResolveCorpusToJson(ds, no_bve), baseline)
+        << kind << " bve off";
   }
 }
 
@@ -280,6 +292,129 @@ TEST(ModelCacheTest, WitnessReuseAnswersWithoutSearch) {
   EXPECT_EQ(s.stats().model_cache_hits, hits);
   ASSERT_EQ(s.Solve(), SolveResult::kSat);
   EXPECT_EQ(s.ModelValue(a), !ma);
+}
+
+TEST(ArenaGcTest, CompactionReclaimsDeadWordsAndKeepsAnswers) {
+  SolverOptions gc_opts;
+  gc_opts.use_arena_gc = false;  // hold the trigger; collect by hand below
+  Solver s(gc_opts);
+  const int n = 64;
+  std::vector<Var> v(n);
+  for (int i = 0; i < n; ++i) v[i] = s.NewVar();
+  const Var hub = s.NewVar();
+  // A pile of wide clauses all satisfied once `hub` is forced true: the
+  // top-level sweep marks every one dead but the words stay in the arena
+  // until the collector runs.
+  for (int i = 0; i + 3 < n; ++i) {
+    ASSERT_TRUE(s.AddClause({Lit::Pos(hub), Lit::Pos(v[i]),
+                             Lit::Pos(v[i + 1]), Lit::Pos(v[i + 2]),
+                             Lit::Pos(v[i + 3])}));
+  }
+  // Keep one clause alive so the compacted arena is not trivially empty.
+  ASSERT_TRUE(s.AddClause({Lit::Pos(v[0]), Lit::Pos(v[1]), Lit::Pos(v[2])}));
+  ASSERT_TRUE(s.AddClause({Lit::Pos(hub)}));
+  ASSERT_TRUE(s.Simplify());  // sweeps the satisfied pile
+  ASSERT_GT(s.arena_words(), s.arena_live_words());
+  const size_t dead = s.arena_words() - s.arena_live_words();
+  s.GarbageCollect();
+  EXPECT_EQ(s.arena_words(), s.arena_live_words());
+  EXPECT_GE(s.stats().gc_runs, 1);
+  EXPECT_GE(static_cast<size_t>(s.stats().gc_reclaimed_words), dead);
+  // The survivor still constrains the relocated world.
+  EXPECT_EQ(s.SolveWithAssumptions(
+                {Lit::Neg(v[0]), Lit::Neg(v[1]), Lit::Neg(v[2])}),
+            SolveResult::kUnsat);
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(hub));
+}
+
+TEST(ArenaGcTest, ModelCacheSurvivesRelocation) {
+  Solver s;  // witness cache on by default
+  const Var a = s.NewVar(), b = s.NewVar(), c = s.NewVar();
+  ASSERT_TRUE(s.AddClause({Lit::Pos(a), Lit::Pos(b), Lit::Pos(c)}));
+  ASSERT_TRUE(s.AddClause({Lit::Neg(a), Lit::Pos(b), Lit::Pos(c)}));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
+  const bool mb = s.ModelValue(b), mc = s.ModelValue(c);
+  // Relocating clauses must not invalidate cached witnesses: the formula
+  // is unchanged, so the stored models still satisfy it.
+  s.GarbageCollect();
+  const int64_t decisions_before = s.stats().decisions;
+  ASSERT_EQ(s.SolveWithAssumptions({Lit(b, !mb)}), SolveResult::kSat);
+  EXPECT_GT(s.stats().model_cache_hits, 0);
+  EXPECT_EQ(s.stats().decisions, decisions_before);
+  EXPECT_EQ(s.ModelValue(b), mb);
+  EXPECT_EQ(s.ModelValue(c), mc);
+}
+
+// Release-build sanity for the std::bit_cast activity accessors: a
+// conflict-heavy search bumps/decays float activities stored inside the
+// uint32_t arena on every learnt clause, then deletes by activity. The
+// whole suite compiles with -fstrict-aliasing, so a type-punning
+// regression in ClauseActivity/SetClauseActivity is UB the optimizer is
+// entitled to exploit — this test gives it a dense workload to exploit
+// it on.
+TEST(ClauseActivityTest, ActivityDrivenDeletionSurvivesStrictAliasing) {
+  SolverOptions opts;
+  opts.use_lbd_tiers = false;  // legacy activity-sorted ReduceDb path
+  Solver s(opts);
+  sat::Cnf cnf;
+  const int holes = 9, pigeons = 10;
+  auto var = [&](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.push_back(Lit::Pos(var(p, h)));
+    cnf.AddClause(std::span<const Lit>(clause.data(), clause.size()));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        cnf.AddBinary(Lit::Neg(var(p1, h)), Lit::Neg(var(p2, h)));
+      }
+    }
+  }
+  s.AddCnf(cnf);
+  ASSERT_EQ(s.Solve(), SolveResult::kUnsat);
+  EXPECT_GT(s.stats().conflicts, 100);  // real bump/decay/delete traffic
+}
+
+TEST(BveTest, EliminatedVarIsResolvedAwayAndModelExtends) {
+  Solver s;  // use_bve on by default
+  const Var a = s.NewVar(), b = s.NewVar(), c = s.NewVar();
+  ASSERT_TRUE(s.AddClause({Lit::Pos(a), Lit::Pos(b)}));
+  ASSERT_TRUE(s.AddClause({Lit::Neg(a), Lit::Pos(c)}));
+  s.MarkEliminable(a);
+  ASSERT_TRUE(s.Simplify());
+  ASSERT_TRUE(s.VarEliminated(a));
+  EXPECT_GE(s.stats().bve_eliminated, 1);
+  // The resolvent (b ∨ c) must constrain the reduced formula...
+  EXPECT_EQ(s.SolveWithAssumptions({Lit::Neg(b), Lit::Neg(c)}),
+            SolveResult::kUnsat);
+  // ...and a full solve must reconstruct a value for the eliminated
+  // variable that satisfies the ORIGINAL clauses.
+  ASSERT_EQ(s.SolveWithAssumptions({Lit::Neg(c)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(b));
+  EXPECT_FALSE(s.ModelValue(a));  // (¬a ∨ c) with c false forces ¬a
+  ASSERT_EQ(s.SolveWithAssumptions({Lit::Neg(b)}), SolveResult::kSat);
+  EXPECT_TRUE(s.ModelValue(a));  // (a ∨ b) with b false forces a
+  EXPECT_TRUE(s.ModelValue(c));
+}
+
+TEST(BveTest, GrowthRuleKeepsDenseVars) {
+  Solver s;
+  const Var x = s.NewVar();
+  std::vector<Var> others;
+  // 5 positive x 5 negative occurrences -> 25 resolvents > 10 originals:
+  // the no-growth rule must refuse.
+  for (int i = 0; i < 5; ++i) {
+    const Var p = s.NewVar(), q = s.NewVar(), r = s.NewVar(), t = s.NewVar();
+    others.insert(others.end(), {p, q, r, t});
+    ASSERT_TRUE(s.AddClause({Lit::Pos(x), Lit::Pos(p), Lit::Pos(q)}));
+    ASSERT_TRUE(s.AddClause({Lit::Neg(x), Lit::Pos(r), Lit::Pos(t)}));
+  }
+  s.MarkEliminable(x);
+  ASSERT_TRUE(s.Simplify());
+  EXPECT_FALSE(s.VarEliminated(x));
+  ASSERT_EQ(s.Solve(), SolveResult::kSat);
 }
 
 TEST(LbdTierTest, TieredCountersPopulateOnConflictHeavySearch) {

@@ -76,8 +76,10 @@ void PrintUsage(std::FILE* to) {
                "  --solver S        modern (binary watches, LBD tiers, EMA\n"
                "                    restarts, deep ccmin, inprocessing;\n"
                "                    default) | legacy (all five off; the\n"
-               "                    MiniSat-2003 heuristics). Results are\n"
-               "                    bit-identical either way.\n"
+               "                    MiniSat-2003 heuristics) | nogc (modern\n"
+               "                    with arena GC and variable elimination\n"
+               "                    off). Results are bit-identical in all\n"
+               "                    cases.\n"
                "  --solver-stats    dump pooled per-phase solver statistics\n"
                "                    (conflicts, binary propagations, glue,\n"
                "                    tier/inprocessing counters) on stderr\n"
@@ -150,8 +152,10 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
     if (arg == "--solver") {
       const char* v = next_value("--solver");
       if (v == nullptr) return 2;
-      if (std::string(v) != "modern" && std::string(v) != "legacy") {
-        std::fprintf(stderr, "--solver wants modern|legacy, got %s\n", v);
+      if (std::string(v) != "modern" && std::string(v) != "legacy" &&
+          std::string(v) != "nogc") {
+        std::fprintf(stderr, "--solver wants modern|legacy|nogc, got %s\n",
+                     v);
         return 2;
       }
       opts->solver = v;
@@ -326,7 +330,9 @@ void DumpSolverStats(const ExperimentResult& r) {
                  "\"learnt_literals\": %lld, \"lbd_sum\": %lld, "
                  "\"learnt_core\": %lld, \"learnt_mid\": %lld, "
                  "\"learnt_local\": %lld, \"subsumed\": %lld, "
-                 "\"vivified\": %lld, \"model_cache_hits\": %lld}%s\n",
+                 "\"vivified\": %lld, \"model_cache_hits\": %lld, "
+                 "\"gc_runs\": %lld, \"gc_reclaimed_words\": %lld, "
+                 "\"bve_eliminated\": %lld, \"bve_resolvents\": %lld}%s\n",
                  phase, static_cast<long long>(s.conflicts),
                  static_cast<long long>(s.decisions),
                  static_cast<long long>(s.propagations),
@@ -341,6 +347,10 @@ void DumpSolverStats(const ExperimentResult& r) {
                  static_cast<long long>(s.subsumed),
                  static_cast<long long>(s.vivified),
                  static_cast<long long>(s.model_cache_hits),
+                 static_cast<long long>(s.gc_runs),
+                 static_cast<long long>(s.gc_reclaimed_words),
+                 static_cast<long long>(s.bve_eliminated),
+                 static_cast<long long>(s.bve_resolvents),
                  last ? "" : ",");
   };
   std::fprintf(stderr, "{\n  \"solver_stats\": {\n");
@@ -367,6 +377,11 @@ int RunShard(const CliOptions& o) {
   eopts.resolve.use_session = o.engine == "session";
   if (o.solver == "legacy") {
     eopts.resolve.solver = sat::SolverOptions::LegacyHeuristics();
+  } else if (o.solver == "nogc") {
+    // Modern heuristics with the arena lifecycle features off: the
+    // byte-identity lane that proves GC/BVE never change results.
+    eopts.resolve.solver.use_arena_gc = false;
+    eopts.resolve.solver.use_bve = false;
   }
   const std::vector<int> indices = ShardIndices(
       static_cast<int>(ds.entities.size()), o.shard, o.num_shards);
