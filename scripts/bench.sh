@@ -5,7 +5,9 @@
 #
 # bench_throughput additionally runs and its JSON lands in
 # BENCH_throughput.json at the repo root — the machine-readable perf
-# trajectory tracked across PRs. Skip it with CCR_BENCH_SKIP_RUN=1.
+# trajectory tracked across PRs — plus a run-stamped copy in
+# bench/history/BENCH_throughput.<git-sha>.json so successive runs don't
+# clobber each other. Skip both with CCR_BENCH_SKIP_RUN=1.
 #
 # Usage: scripts/bench.sh [build-dir]
 
@@ -33,4 +35,11 @@ if [[ -z "${CCR_BENCH_SKIP_RUN:-}" ]]; then
   echo
   echo "Running bench_throughput -> BENCH_throughput.json"
   "$BUILD_DIR"/bench/bench_throughput | tee BENCH_throughput.json
+  # Run-stamped history copy, keyed by the commit the run measured (the
+  # working-tree sha, not a timestamp — reruns at one commit overwrite,
+  # which is what a perf trajectory wants).
+  SHA="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+  mkdir -p bench/history
+  cp BENCH_throughput.json "bench/history/BENCH_throughput.${SHA}.json"
+  echo "History copy: bench/history/BENCH_throughput.${SHA}.json"
 fi

@@ -22,7 +22,11 @@
 #     performed a session rebuild, or reclaimed fewer arena words than
 #     CCR_BENCH_GC_RECLAIM_FLOOR (default 1000 — the smoke-scale run
 #     deterministically reclaims >= 140k words, so tripping the floor
-#     means compaction stopped firing, not that the runner was noisy).
+#     means compaction stopped firing, not that the runner was noisy), or
+#   * the sls_warm_start section (local-search warm starts on vs off)
+#     reported non-identical resolutions, performed a session rebuild,
+#     or fell below its Suggest speedup floor (CCR_BENCH_SLS_FLOOR,
+#     default 1.1 — SLS may only ever change time-to-verdict).
 #
 # thread_scaling is only gated on multi-core runners: on a 1-core
 # container the bench reports "skipped": true (an N-thread run there
@@ -44,16 +48,19 @@ FLOOR="${CCR_BENCH_SPEEDUP_FLOOR:-1.5}"
 SUGGEST_FLOOR="${CCR_BENCH_SUGGEST_FLOOR:-1.3}"
 SOLVER_FLOOR="${CCR_BENCH_SOLVER_FLOOR:-1.2}"
 GC_RECLAIM_FLOOR="${CCR_BENCH_GC_RECLAIM_FLOOR:-1000}"
+SLS_FLOOR="${CCR_BENCH_SLS_FLOOR:-1.1}"
 
 scripts/bench.sh "${1:-build-bench}"
 
 echo
 echo "Gating BENCH_throughput.json (incremental floor: ${FLOOR}x," \
      "suggest floor: ${SUGGEST_FLOOR}x, solver floor: ${SOLVER_FLOOR}x," \
-     "GC reclaim floor: ${GC_RECLAIM_FLOOR} words)"
+     "GC reclaim floor: ${GC_RECLAIM_FLOOR} words," \
+     "SLS suggest floor: ${SLS_FLOOR}x)"
 jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
       --argjson solfloor "$SOLVER_FLOOR" \
-      --argjson gcfloor "$GC_RECLAIM_FLOOR" '
+      --argjson gcfloor "$GC_RECLAIM_FLOOR" \
+      --argjson slsfloor "$SLS_FLOOR" '
   (.incremental.identical_results == true)
   and (.incremental.resolve_errors == 0)
   and (.suggest_incremental.identical_results == true)
@@ -67,6 +74,10 @@ jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
   and (.memory_lifecycle.identical_results == true)
   and (.memory_lifecycle.session_rebuilds == 0)
   and (.memory_lifecycle.gc_on.reclaimed_words >= $gcfloor)
+  and (.sls_warm_start.identical_results == true)
+  and (.sls_warm_start.resolve_errors == 0)
+  and (.sls_warm_start.session_rebuilds == 0)
+  and (.sls_warm_start.suggest_speedup >= $slsfloor)
   and (.incremental.speedup >= $floor)
   and (.suggest_incremental.speedup >= $sfloor)
 ' BENCH_throughput.json >/dev/null || {
@@ -79,4 +90,6 @@ echo "OK: incremental speedup $(jq .incremental.speedup BENCH_throughput.json)x,
      "solver ablation speedup $(jq .solver_ablation.speedup BENCH_throughput.json)x," \
      "pooling speedup $(jq .allocation_pooling.speedup BENCH_throughput.json)x," \
      "GC reclaimed $(jq .memory_lifecycle.gc_on.reclaimed_words BENCH_throughput.json) arena words," \
+     "SLS suggest speedup $(jq .sls_warm_start.suggest_speedup BENCH_throughput.json)x" \
+     "(probe hit-rate $(jq .sls_warm_start.probe_hit_rate BENCH_throughput.json))," \
      "all equivalence checks true"

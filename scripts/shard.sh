@@ -20,7 +20,10 @@
 # solver heuristics can never change a resolution. A fourth gate runs
 # --solver nogc (arena GC and bounded variable elimination off, modern
 # heuristics otherwise): compaction relocates clauses and BVE rewrites
-# the problem, and neither may move a single result byte.
+# the problem, and neither may move a single result byte. A fifth gate
+# runs --solver nosls (local-search seeding and MaxSAT upper-bound
+# probing off): SLS reorders which models CDCL finds and which bound the
+# Sinz search tries first, and none of it may move a result byte either.
 #
 # Usage: scripts/shard.sh [N] [build-dir]
 # Environment:
@@ -104,5 +107,17 @@ if cmp "$WORK_DIR/nogc_solver.json" "$WORK_DIR/single.json"; then
 else
   echo "FAIL: GC/BVE-off result differs from the default run" >&2
   diff "$WORK_DIR/nogc_solver.json" "$WORK_DIR/single.json" >&2 || true
+  exit 1
+fi
+
+echo "Local-search exactness: SLS warm starts (default, on) vs" \
+     "--solver nosls..."
+"$BIN" "${FLAGS[@]}" --solver nosls --no-timings \
+  --out "$WORK_DIR/nosls_solver.json"
+if cmp "$WORK_DIR/nosls_solver.json" "$WORK_DIR/single.json"; then
+  echo "OK: SLS-off run is byte-identical to the default run"
+else
+  echo "FAIL: SLS-off result differs from the default run" >&2
+  diff "$WORK_DIR/nosls_solver.json" "$WORK_DIR/single.json" >&2 || true
   exit 1
 fi

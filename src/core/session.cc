@@ -45,6 +45,11 @@ Instantiation* SessionScratch::AcquireInstantiation() {
   return inst_.get();
 }
 
+maxsat::WalkSatScratch* SessionScratch::AcquireWalkSatScratch() {
+  if (walksat_ == nullptr) walksat_ = std::make_unique<maxsat::WalkSatScratch>();
+  return walksat_.get();
+}
+
 void ResolutionSession::AdoptScratchObjects() {
   if (options_.scratch != nullptr) {
     inst_ = options_.scratch->AcquireInstantiation();
@@ -78,6 +83,12 @@ Result<ResolutionSession> ResolutionSession::Create(
   // ExtendWith ends in a Simplify() that vivifies and backward-subsumes
   // exactly the round's appended delta against the whole database.
   if (s.options_.solver.use_inprocessing) s.solver_->PrimeInprocessing();
+  // SLS warm start: a local-search pass under the active guards installs
+  // a near-model into the saved phases (and, when fully satisfying, the
+  // witness ring) before the first validity solve ever runs.
+  if (s.options_.solver.use_sls_seeding) {
+    s.solver_->SeedFromLocalSearch(s.inst_->guard_assumptions());
+  }
   s.last_encode_ms_ = timer.ElapsedMs();
   return s;
 }
@@ -132,6 +143,13 @@ Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
   // SolverOptions::gc_frac — which is what keeps a multi-hundred-round
   // session's solver memory proportional to its live clause set.
   solver_->Simplify();
+  // Re-seed from local search: the phases still hold (near) the previous
+  // round's model, so a short pass usually repairs it against the delta
+  // and refills the witness ring the extension just invalidated — the
+  // next validity/deduce solves start warm.
+  if (options_.solver.use_sls_seeding && !solver_->IsUnsatForever()) {
+    solver_->SeedFromLocalSearch(inst_->guard_assumptions());
+  }
   ++incremental_extensions_;
   last_encode_ms_ = timer.ElapsedMs();
   spec_ = std::move(next);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/core/resolver.h"
+#include "src/maxsat/walksat.h"
 #include "src/sat/cnf.h"
 #include "src/sat/solver.h"
 
@@ -64,6 +65,12 @@ class SessionScratch {
   /// buckets and the constraint vector stay warm across entities.
   Instantiation* AcquireInstantiation();
 
+  /// WalkSAT working buffers (occurrence CSR, counters, unsat stack) for
+  /// the CNF-form RunWalkSat, kept warm across calls — the same pooling
+  /// pattern as AcquireInstantiation. The buffers carry no semantic state
+  /// between runs (RunWalkSat reinitializes them), so no reset is needed.
+  maxsat::WalkSatScratch* AcquireWalkSatScratch();
+
   /// Acquire calls that recycled a warm object instead of allocating.
   int64_t solver_reuses() const { return solver_reuses_; }
 
@@ -71,6 +78,7 @@ class SessionScratch {
   std::unique_ptr<sat::Solver> solver_;
   std::unique_ptr<sat::Cnf> cnf_;
   std::unique_ptr<Instantiation> inst_;
+  std::unique_ptr<maxsat::WalkSatScratch> walksat_;
   int64_t solver_reuses_ = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "src/maxsat/walksat.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "src/common/status.h"
 
@@ -11,27 +12,31 @@ using sat::Lit;
 
 namespace {
 
-// Occurrence lists and per-clause satisfied-literal counts for O(1) flip
-// bookkeeping.
-struct LocalState {
-  std::vector<bool> assign;             // per var
-  std::vector<int> true_count;          // per clause
-  std::vector<std::vector<int>> occur;  // lit index -> clauses containing it
-  std::vector<int> unsat_clauses;       // stack of unsatisfied clause ids
-  std::vector<int> unsat_pos;           // clause -> index in unsat_clauses, -1
-};
-
-bool LitTrue(const std::vector<bool>& assign, Lit l) {
-  return assign[l.var()] != l.negated();
+Status ValidateOptions(const WalkSatOptions& options) {
+  if (options.max_flips <= 0) {
+    return Status::InvalidArgument("WalkSatOptions.max_flips must be > 0");
+  }
+  if (options.tries <= 0) {
+    return Status::InvalidArgument("WalkSatOptions.tries must be > 0");
+  }
+  if (!(options.noise >= 0.0 && options.noise <= 1.0)) {
+    return Status::InvalidArgument(
+        "WalkSatOptions.noise must lie in [0, 1]");
+  }
+  return Status::OK();
 }
 
-void MarkUnsat(LocalState* s, int clause) {
+bool LitTrue(const std::vector<uint8_t>& assign, Lit l) {
+  return (assign[l.var()] != 0) != l.negated();
+}
+
+void MarkUnsat(WalkSatScratch* s, int clause) {
   if (s->unsat_pos[clause] >= 0) return;
   s->unsat_pos[clause] = static_cast<int>(s->unsat_clauses.size());
   s->unsat_clauses.push_back(clause);
 }
 
-void MarkSat(LocalState* s, int clause) {
+void MarkSat(WalkSatScratch* s, int clause) {
   const int pos = s->unsat_pos[clause];
   if (pos < 0) return;
   const int last = s->unsat_clauses.back();
@@ -41,33 +46,39 @@ void MarkSat(LocalState* s, int clause) {
   s->unsat_pos[clause] = -1;
 }
 
-void Flip(LocalState* s, sat::Var v) {
-  const bool new_val = !s->assign[v];
+void Flip(WalkSatScratch* s, sat::Var v) {
+  const uint8_t new_val = s->assign[v] ^ 1;
   s->assign[v] = new_val;
-  const Lit now_true = sat::Lit(v, /*negated=*/!new_val);
+  const Lit now_true = sat::Lit(v, /*negated=*/new_val == 0);
   const Lit now_false = ~now_true;
-  for (int c : s->occur[now_true.index()]) {
-    if (++s->true_count[c] == 1) MarkSat(s, c);
+  for (int j = s->occ_start[now_true.index()];
+       j < s->occ_start[now_true.index() + 1]; ++j) {
+    if (++s->true_count[s->occ[j]] == 1) MarkSat(s, s->occ[j]);
   }
-  for (int c : s->occur[now_false.index()]) {
-    if (--s->true_count[c] == 0) MarkUnsat(s, c);
+  for (int j = s->occ_start[now_false.index()];
+       j < s->occ_start[now_false.index() + 1]; ++j) {
+    if (--s->true_count[s->occ[j]] == 0) MarkUnsat(s, s->occ[j]);
   }
 }
 
 // Number of currently-satisfied clauses that flipping v would break
 // (clauses where v's literal is the only true one).
-int BreakCount(const LocalState& s, sat::Var v) {
-  const Lit cur_true = sat::Lit(v, /*negated=*/!s.assign[v]);
+int BreakCount(const WalkSatScratch& s, sat::Var v) {
+  const Lit cur_true = sat::Lit(v, /*negated=*/s.assign[v] == 0);
   int breaks = 0;
-  for (int c : s.occur[cur_true.index()]) {
-    if (s.true_count[c] == 1) ++breaks;
+  for (int j = s.occ_start[cur_true.index()];
+       j < s.occ_start[cur_true.index() + 1]; ++j) {
+    if (s.true_count[s.occ[j]] == 1) ++breaks;
   }
   return breaks;
 }
 
 }  // namespace
 
-WalkSatResult RunWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
+Result<WalkSatResult> RunWalkSat(const Cnf& cnf,
+                                 const WalkSatOptions& options,
+                                 WalkSatScratch* scratch) {
+  CCR_RETURN_NOT_OK(ValidateOptions(options));
   WalkSatResult result;
   const int n_vars = cnf.num_vars();
   const int n_clauses = cnf.num_clauses();
@@ -75,18 +86,34 @@ WalkSatResult RunWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
   result.best_unsat = n_clauses;
 
   Rng rng(options.seed);
-  LocalState s;
-  s.occur.resize(2 * std::max(n_vars, 1));
+  WalkSatScratch local;
+  WalkSatScratch& s = scratch != nullptr ? *scratch : local;
+
+  // Occurrence lists (lit index -> clause ids) in flat CSR form so a
+  // pooled scratch clears in O(buffers), not O(vars).
+  s.occ_start.assign(static_cast<size_t>(2 * n_vars) + 1, 0);
+  int total_lits = 0;
   for (int c = 0; c < n_clauses; ++c) {
-    for (Lit l : cnf.clause(c)) s.occur[l.index()].push_back(c);
+    for (Lit l : cnf.clause(c)) {
+      ++s.occ_start[l.index() + 1];
+      ++total_lits;
+    }
+  }
+  for (size_t i = 1; i < s.occ_start.size(); ++i) {
+    s.occ_start[i] += s.occ_start[i - 1];
+  }
+  s.occ.resize(static_cast<size_t>(total_lits));
+  s.cursor.assign(s.occ_start.begin(), s.occ_start.end() - 1);
+  for (int c = 0; c < n_clauses; ++c) {
+    for (Lit l : cnf.clause(c)) s.occ[s.cursor[l.index()]++] = c;
   }
 
   for (int attempt = 0; attempt < options.tries; ++attempt) {
-    s.assign.resize(n_vars);
-    for (int v = 0; v < n_vars; ++v) s.assign[v] = rng.Chance(0.5);
-    s.true_count.assign(n_clauses, 0);
+    s.assign.resize(static_cast<size_t>(n_vars));
+    for (int v = 0; v < n_vars; ++v) s.assign[v] = rng.Chance(0.5) ? 1 : 0;
+    s.true_count.assign(static_cast<size_t>(n_clauses), 0);
     s.unsat_clauses.clear();
-    s.unsat_pos.assign(n_clauses, -1);
+    s.unsat_pos.assign(static_cast<size_t>(n_clauses), -1);
     for (int c = 0; c < n_clauses; ++c) {
       for (Lit l : cnf.clause(c)) {
         if (LitTrue(s.assign, l)) ++s.true_count[c];
@@ -98,7 +125,7 @@ WalkSatResult RunWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
       const int unsat_now = static_cast<int>(s.unsat_clauses.size());
       if (unsat_now < result.best_unsat) {
         result.best_unsat = unsat_now;
-        result.model = s.assign;
+        for (int v = 0; v < n_vars; ++v) result.model[v] = s.assign[v] != 0;
       }
       if (unsat_now == 0) {
         result.satisfied = true;
@@ -112,17 +139,17 @@ WalkSatResult RunWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
       // Freebie move: a variable with break count 0, else noise/greedy.
       sat::Var chosen = sat::kVarUndef;
       int best_break = INT32_MAX;
-      std::vector<sat::Var> zero_break;
+      s.zero_break.clear();
       for (Lit l : lits) {
         const int b = BreakCount(s, l.var());
-        if (b == 0) zero_break.push_back(l.var());
+        if (b == 0) s.zero_break.push_back(l.var());
         if (b < best_break) {
           best_break = b;
           chosen = l.var();
         }
       }
-      if (!zero_break.empty()) {
-        chosen = rng.PickFrom(zero_break);
+      if (!s.zero_break.empty()) {
+        chosen = rng.PickFrom(s.zero_break);
       } else if (rng.Chance(options.noise)) {
         chosen = lits[static_cast<size_t>(rng.Below(lits.size()))].var();
       }
@@ -130,6 +157,34 @@ WalkSatResult RunWalkSat(const Cnf& cnf, const WalkSatOptions& options) {
       Flip(&s, chosen);
     }
   }
+  return result;
+}
+
+Result<WalkSatResult> RunWalkSat(sat::Solver* solver,
+                                 const WalkSatOptions& options) {
+  CCR_RETURN_NOT_OK(ValidateOptions(options));
+  WalkSatResult result;
+  result.model.assign(static_cast<size_t>(solver->num_vars()), false);
+  if (solver->IsUnsatForever()) {
+    // Refuted at level 0 before any flip could run.
+    result.best_unsat = 1;
+    return result;
+  }
+  sat::LocalSearchBudget budget;
+  budget.max_flips = options.max_flips;
+  budget.tries = options.tries;
+  budget.noise = options.noise;
+  budget.has_seed = true;
+  budget.seed = options.seed;
+  const sat::LocalSearchResult r =
+      solver->SeedFromLocalSearch({}, {}, budget);
+  if (!r.ran) {
+    result.best_unsat = 1;
+    return result;
+  }
+  for (size_t v = 0; v < r.model.size(); ++v) result.model[v] = r.model[v] != 0;
+  result.best_unsat = r.hard_unsat;
+  result.satisfied = r.feasible;
   return result;
 }
 

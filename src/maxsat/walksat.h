@@ -5,7 +5,12 @@
 // scored by the number of clauses a flip breaks. It doubles as an
 // approximate MaxSAT engine (best assignment seen = most clauses
 // satisfied), which the ablation bench compares against the exact engine
-// in maxsat.h.
+// in maxsat.h. Two entry points share the options and result types: the
+// CNF form below (paper-faithful, runs on pooled WalkSatScratch buffers)
+// and the solver form, which runs the same search directly on a live
+// Solver's clause arena and binary watch lists with no CNF copy —
+// the engine behind Solver::SeedFromLocalSearch and the hot-path
+// warm starts.
 
 #ifndef CCR_MAXSAT_WALKSAT_H_
 #define CCR_MAXSAT_WALKSAT_H_
@@ -14,11 +19,15 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/sat/cnf.h"
+#include "src/sat/solver.h"
 
 namespace ccr::maxsat {
 
-/// WalkSAT parameters.
+/// WalkSAT parameters. Validated by RunWalkSat: max_flips and tries must
+/// be positive and noise must lie in [0, 1] — violations surface as
+/// Status::InvalidArgument, never as silent clamping.
 struct WalkSatOptions {
   int64_t max_flips = 100000;  // per try
   int tries = 3;               // random restarts
@@ -36,11 +45,41 @@ struct WalkSatResult {
   bool satisfied = false;
 };
 
+/// \brief Reusable buffers for the CNF-form RunWalkSat.
+///
+/// Owned by SessionScratch (AcquireWalkSatScratch, the same pooling
+/// pattern as AcquireInstantiation) so repeated runs — the ablation bench
+/// loops over every entity — stop paying per-call occurrence-list and
+/// counter allocations. The occurrence index is a flat CSR layout, not a
+/// vector-of-vectors, so clearing it between runs is O(1) per buffer.
+struct WalkSatScratch {
+  std::vector<uint8_t> assign;     // per var
+  std::vector<int> true_count;     // per clause
+  std::vector<int> occ_start;      // lit index -> CSR offset
+  std::vector<int> occ;            // CSR clause ids
+  std::vector<int> cursor;         // CSR fill cursors
+  std::vector<int> unsat_clauses;  // stack of unsatisfied clause ids
+  std::vector<int> unsat_pos;      // clause -> index in unsat_clauses, -1
+  std::vector<sat::Var> zero_break;  // freebie candidates per flip
+};
+
 /// Runs WalkSAT on `cnf`. With weights absent, this maximizes the number
 /// of satisfied clauses; callers implementing partial MaxSAT replicate
 /// hard clauses to weight them (as the original Walksat-based MaxSat
-/// pipelines did).
-WalkSatResult RunWalkSat(const sat::Cnf& cnf, const WalkSatOptions& options);
+/// pipelines did). `scratch` (optional) pools the working buffers across
+/// calls. Deterministic under options.seed.
+Result<WalkSatResult> RunWalkSat(const sat::Cnf& cnf,
+                                 const WalkSatOptions& options,
+                                 WalkSatScratch* scratch = nullptr);
+
+/// Runs the same search directly on `solver`'s clause arena and binary
+/// watch lists — no CNF copy; the scratch is the solver's own pooled
+/// local-search buffers. Variables fixed at level 0 (and BVE-eliminated
+/// ones) never flip, and as a side effect the best assignment seeds the
+/// solver's saved phases / model cache exactly as SeedFromLocalSearch
+/// does. Precondition: decision level 0.
+Result<WalkSatResult> RunWalkSat(sat::Solver* solver,
+                                 const WalkSatOptions& options);
 
 }  // namespace ccr::maxsat
 

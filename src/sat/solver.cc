@@ -1,8 +1,10 @@
 #include "src/sat/solver.h"
 
 #include <algorithm>
+#include <climits>
 #include <cmath>
 
+#include "src/common/rng.h"
 #include "src/common/status.h"
 
 namespace ccr::sat {
@@ -34,6 +36,33 @@ constexpr uint32_t kMovedHeader = 7;
 // kBveResolventLitCap literals.
 constexpr size_t kBveOccLimit = 16;
 constexpr size_t kBveResolventLitCap = 64;
+
+// Stochastic local search (SeedFromLocalSearch) auto-budget: flips per
+// try scale with the number of unfixed variables in the active
+// subformula, capped so a huge session solver never spends more than a
+// small slice of a real solve on seeding.
+constexpr int64_t kSlsFlipsBase = 256;
+constexpr int64_t kSlsFlipsPerVar = 1;
+constexpr int64_t kSlsFlipsCap = 1 << 13;
+// Greedy repair (the middle tier between "phases are already a model"
+// and the full WalkSAT search): only attempted when the evaluation scan
+// finds at most kSlsRepairMaxUnsat falsified clauses, and bounded to
+// kSlsRepairMaxFlips minimum-break flips before giving up.
+constexpr size_t kSlsRepairMaxUnsat = 64;
+constexpr int64_t kSlsRepairMaxFlips = 512;
+constexpr int kSlsRepairRounds = 3;
+// Soft-improvement pass: per falsified soft, the repair chain triggered
+// by flipping it true may spend this many flips before rolling back.
+// Deliberately small: successful chains are short (the soft was one
+// near-satisfied implication away), and failed chains are pure cost.
+constexpr int64_t kSlsSoftChainFlips = 24;
+// Incremental verification cache limits: fall back to a full scan when
+// more variables changed since the last verified assignment, and void
+// the cache when more problem binaries were added than the log holds.
+constexpr size_t kSlsDiffMaxVars = 2048;
+constexpr size_t kSlsBinLogCap = 4096;
+// Base of the salted RNG seed stream (arbitrary fixed constant).
+constexpr uint64_t kSlsSeedBase = 0x51e5'5eed'c0de'2013ULL;
 
 }  // namespace
 
@@ -73,6 +102,12 @@ void Solver::Reset(SolverOptions options) {
   ok_ = true;
   arena_.clear();
   clauses_.clear();
+  sls_verified_val_.clear();
+  sls_verified_clauses_ = 0;
+  sls_epoch_ = 0;
+  sls_verified_epoch_ = 0;
+  sls_bin_log_overflow_ = false;
+  sls_new_bins_.clear();
   learnts_core_.clear();
   learnts_mid_.clear();
   learnts_local_.clear();
@@ -123,6 +158,9 @@ void Solver::Reset(SolverOptions options) {
   model_fresh_ = false;
   model_pool_.clear();
   model_pool_next_ = 0;
+  // The scratch buffers keep their capacity; only the salt is observable
+  // (it drives the local-search RNG stream).
+  sls_salt_ = 0;
 }
 
 Solver::ClauseRef Solver::AllocClause(const std::vector<Lit>& lits,
@@ -221,6 +259,16 @@ bool Solver::AddClauseInternal(std::vector<Lit> lits) {
     AttachBinary(out[0], out[1]);
     if (options_.use_inprocessing) {
       pending_bins_.emplace_back(out[0], out[1]);
+    }
+    // Log for the incremental SLS verification cache (learnt binaries
+    // need no log: they are implied, so any genuine model of the
+    // problem clauses satisfies them automatically).
+    if (!sls_verified_val_.empty() && !sls_bin_log_overflow_) {
+      if (sls_new_bins_.size() < kSlsBinLogCap) {
+        sls_new_bins_.emplace_back(out[0], out[1]);
+      } else {
+        sls_bin_log_overflow_ = true;
+      }
     }
     return true;
   }
@@ -844,6 +892,9 @@ void Solver::SweepSatisfiedProblem() {
 }
 
 void Solver::CompactProblemClauses() {
+  // Compaction shifts clause indices under the SLS verification
+  // watermark; void the cache rather than track the shuffle.
+  ++sls_epoch_;
   size_t j = 0;
   size_t wm = inproc_watermark_;
   for (size_t i = 0; i < clauses_.size(); ++i) {
@@ -1071,6 +1122,25 @@ SolveResult Solver::Search(int64_t conflict_budget,
 }
 
 void Solver::CacheCurrentModel() {
+  // Free re-anchor for the incremental SLS verification cache: the
+  // complete conflict-free assignment in hand is a proven model of
+  // every live clause, so it can serve as the diff baseline without any
+  // scan. Only re-anchor when the formula moved past the cached state —
+  // steady-state solve streams then pay nothing.
+  if ((options_.use_sls_seeding || options_.use_sls_probing) &&
+      TrackOccurrences() &&
+      (sls_verified_val_.empty() || sls_verified_epoch_ != sls_epoch_ ||
+       sls_verified_clauses_ != clauses_.size() ||
+       sls_verified_val_.size() != assigns_.size())) {
+    sls_verified_val_.resize(assigns_.size());
+    for (size_t v = 0; v < assigns_.size(); ++v) {
+      sls_verified_val_[v] = assigns_[v] == Lbool::kTrue ? 1 : 0;
+    }
+    sls_verified_clauses_ = clauses_.size();
+    sls_verified_epoch_ = sls_epoch_;
+    sls_new_bins_.clear();
+    sls_bin_log_overflow_ = false;
+  }
   if (!options_.use_model_cache) return;
   if (model_fresh_ && !model_.empty()) {
     // Rotate the previous newest model into the ring.
@@ -1082,6 +1152,783 @@ void Solver::CacheCurrentModel() {
     }
   }
   model_fresh_ = true;
+}
+
+LocalSearchResult Solver::SeedFromLocalSearch(
+    std::span<const Lit> assumptions, std::span<const std::vector<Lit>> softs,
+    const LocalSearchBudget& budget) {
+  LocalSearchResult out;
+  CCR_DCHECK(DecisionLevel() == 0);
+  if (!ok_) return out;
+
+  const int nv = num_vars();
+  SlsScratch& s = sls_;
+
+  // Fix the variables the search must not touch: the level-0 trail, the
+  // assumption literals, and BVE-eliminated variables (whose exact values
+  // only exist through model reconstruction). Everything else starts at
+  // its saved phase, so a solver that just produced a model searches from
+  // (near) that model.
+  s.fixed.assign(static_cast<size_t>(nv), 0);
+  s.val.resize(static_cast<size_t>(nv));
+  for (Var v = 0; v < nv; ++v) {
+    if (assigns_[v] != Lbool::kUndef) {
+      s.fixed[v] = 1;
+      s.val[v] = assigns_[v] == Lbool::kTrue ? 1 : 0;
+    } else if (eliminated_[v]) {
+      s.fixed[v] = 1;
+      s.val[v] = 0;
+    } else {
+      s.val[v] = polarity_[v] ? 0 : 1;
+    }
+  }
+  for (Lit a : assumptions) {
+    if (eliminated_[a.var()]) return out;  // caller contract violation
+    const uint8_t want = a.negated() ? 0 : 1;
+    if (s.fixed[a.var()] && s.val[a.var()] != want) return out;
+    s.fixed[a.var()] = 1;
+    s.val[a.var()] = want;
+  }
+  // Prefer the last verified assignment over saved phases as the free
+  // variables' starting point whenever the cache is still valid: it is
+  // a genuine model of everything up to the cache point, so the initial
+  // violation set shrinks to the formula delta plus fixing conflicts. A
+  // solve stream that ends UNSAT leaves saved phases nowhere near a
+  // model; the cache still remembers one.
+  if (!sls_verified_val_.empty() && sls_verified_epoch_ == sls_epoch_ &&
+      !sls_bin_log_overflow_ && sls_verified_clauses_ <= clauses_.size()) {
+    const Var anchored = static_cast<Var>(
+        std::min(sls_verified_val_.size(), static_cast<size_t>(nv)));
+    for (Var v = 0; v < anchored; ++v) {
+      if (!s.fixed[v]) s.val[v] = sls_verified_val_[v];
+    }
+  }
+
+  // Tier 0: a cached genuine model that satisfies the assumptions
+  // decides the call with no clause scan at all. The fresh model_ and
+  // every pooled witness satisfy every live clause and all implied
+  // units by the cache invariant (anything that could break that
+  // invalidates the cache), so only the assumptions and softs need
+  // evaluating — O(pool × |assumptions| + |softs|).
+  if (options_.use_model_cache) {
+    const auto try_model = [&](const std::vector<Lbool>& m) {
+      // A shorter model predates variables added since; those could
+      // appear in the softs, so pass on it.
+      if (m.size() < static_cast<size_t>(nv)) return false;
+      for (Lit a : assumptions) {
+        if (LboolOf(m[a.var()], a.negated()) != Lbool::kTrue) return false;
+      }
+      return true;
+    };
+    const std::vector<Lbool>* hit = nullptr;
+    if (model_fresh_ && try_model(model_)) hit = &model_;
+    for (size_t k = 0; !hit && k < model_pool_.size(); ++k) {
+      if (try_model(model_pool_[k])) hit = &model_pool_[k];
+    }
+    if (hit) {
+      const std::vector<Lbool>& m = *hit;
+      CCR_DCHECK(DebugModelSatisfiesLive(m));
+      int soft_unsat = 0;
+      for (const std::vector<Lit>& soft : softs) {
+        bool sat = false;
+        for (Lit l : soft) {
+          CCR_DCHECK(l.var() >= 0 && l.var() < nv);
+          sat = sat || LboolOf(m[l.var()], l.negated()) == Lbool::kTrue;
+        }
+        if (!sat) ++soft_unsat;
+      }
+      out.ran = true;
+      out.feasible = true;
+      out.hard_unsat = 0;
+      // A soft counted unsat only through an undetermined (don't-care
+      // eliminated) variable keeps soft_unsat an upper bound, never an
+      // underestimate, so exactness still holds: every definite
+      // evaluation is against genuine values.
+      out.soft_unsat = soft_unsat;
+      out.softs_exact = true;
+      out.model.resize(static_cast<size_t>(nv));
+      for (Var v = 0; v < nv; ++v) out.model[v] = m[v] == Lbool::kTrue ? 1 : 0;
+      // Phases and the witness ring stay as they are: the CDCL descent
+      // will re-find this very model as a pool hit.
+      return out;
+    }
+  }
+
+  // Fast path: on a warm solver the saved phases usually still form a
+  // model (the last solve saved them from one) or miss one by only a
+  // handful of clauses, so one early-exit evaluation pass plus a bounded
+  // greedy repair decides most calls — no clause pool, no CSR occurrence
+  // build, no restarts. Anything beyond repair's reach falls through to
+  // the full search below.
+  {
+    const auto val_true = [&](Lit l) {
+      return (s.val[l.var()] != 0) != l.negated();
+    };
+    // A falsified item found by the scan: a live arena clause, or a
+    // mirrored binary (ref == kRefUndef).
+    struct Bad {
+      ClauseRef ref;
+      Lit a, b;
+    };
+    std::vector<Bad> worklist;
+    bool any_unsat = false;
+    // Scans every live clause and binary. With collect, falsified items
+    // land in the worklist until it would exceed kSlsRepairMaxUnsat;
+    // without, the scan is a pure early-exit feasibility check. Either
+    // way any_unsat reports whether an (uncollected) falsified item
+    // exists.
+    const auto scan_all = [&](bool collect) {
+      worklist.clear();
+      any_unsat = false;
+      for (ClauseRef c : clauses_) {
+        if (ClauseDead(c)) continue;
+        const Lit* lits = ClauseLits(c);
+        const int sz = ClauseSize(c);
+        bool sat = false;
+        for (int i = 0; i < sz && !sat; ++i) sat = val_true(lits[i]);
+        if (!sat) {
+          if (!collect || worklist.size() >= kSlsRepairMaxUnsat) {
+            any_unsat = true;
+            return;
+          }
+          worklist.push_back({c, kLitUndef, kLitUndef});
+        }
+      }
+      for (int32_t i = 0; i < 2 * nv; ++i) {
+        const Lit u = ~Lit::FromIndex(i);
+        for (Lit q : bins_[i]) {
+          if (u.index() > q.index()) continue;
+          if (!val_true(u) && !val_true(q)) {
+            if (!collect || worklist.size() >= kSlsRepairMaxUnsat) {
+              any_unsat = true;
+              return;
+            }
+            worklist.push_back({kRefUndef, u, q});
+          }
+        }
+      }
+    };
+    // Publishes the current s.val as a feasible result: scores the
+    // softs, reconstructs eliminated variables, and pushes the model
+    // into the witness ring exactly as the search below would. Only
+    // legal right after a scan proved every live clause satisfied.
+    const auto publish = [&] {
+      int soft_unsat = 0;
+      bool selim = false;
+      for (const std::vector<Lit>& soft : softs) {
+        bool sat = false;
+        for (Lit l : soft) {
+          CCR_DCHECK(l.var() >= 0 && l.var() < nv);
+          selim = selim || eliminated_[l.var()];
+          sat = sat || val_true(l);
+        }
+        if (!sat) ++soft_unsat;
+      }
+      out.ran = true;
+      out.feasible = true;
+      out.hard_unsat = 0;
+      out.soft_unsat = soft_unsat;
+      out.model.assign(s.val.begin(), s.val.end());
+      std::vector<Lbool> m(static_cast<size_t>(nv));
+      for (Var v = 0; v < nv; ++v) {
+        m[v] = eliminated_[v] ? Lbool::kUndef
+                              : (s.val[v] ? Lbool::kTrue : Lbool::kFalse);
+      }
+      if (!elim_stack_.empty()) ExtendModel(&m);
+      CCR_DCHECK(DebugModelSatisfiesLive(m));
+      for (Var v = 0; v < nv; ++v) {
+        if (eliminated_[v]) out.model[v] = m[v] == Lbool::kTrue ? 1 : 0;
+      }
+      out.softs_exact = !selim;
+      if (options_.use_model_cache) {
+        if (model_pool_.size() < kModelPoolSize) {
+          model_pool_.push_back(std::move(m));
+        } else {
+          model_pool_[model_pool_next_] = std::move(m);
+          model_pool_next_ = (model_pool_next_ + 1) % kModelPoolSize;
+        }
+        ++stats_.sls_seeded_models;
+      }
+      // Record the assignment as verified against the current formula so
+      // the next call can diff instead of rescanning.
+      sls_verified_val_.assign(s.val.begin(), s.val.end());
+      sls_verified_clauses_ = clauses_.size();
+      sls_verified_epoch_ = sls_epoch_;
+      sls_new_bins_.clear();
+      sls_bin_log_overflow_ = false;
+    };
+    // Incremental verification: diff the candidate assignment against
+    // the last verified one and re-check only what could have changed
+    // truth value — clauses holding a changed variable (via the
+    // persistent occurrence index and the binary lists), arena clauses
+    // appended since, and logged new problem binaries. Everything else
+    // holds by induction: identical clause content (the epoch guard),
+    // identical variable values, satisfied at the last verification.
+    // Learnt binaries of unchanged variables need no check: they are
+    // implied, and an assignment satisfying every problem clause
+    // satisfies implications automatically.
+    const auto try_incremental = [&] {
+      if (!TrackOccurrences() || sls_verified_val_.empty() ||
+          sls_verified_epoch_ != sls_epoch_ || sls_bin_log_overflow_ ||
+          sls_verified_clauses_ > clauses_.size()) {
+        return false;
+      }
+      const Var old_nv = static_cast<Var>(
+          std::min(sls_verified_val_.size(), static_cast<size_t>(nv)));
+      size_t changed = static_cast<size_t>(nv - old_nv);
+      for (Var v = 0; v < old_nv; ++v) {
+        if (s.val[v] != sls_verified_val_[v]) ++changed;
+      }
+      if (changed > kSlsDiffMaxVars) return false;
+      worklist.clear();
+      any_unsat = false;
+      const auto check_clause = [&](ClauseRef d) {
+        if (ClauseDead(d)) return;
+        const Lit* dl = ClauseLits(d);
+        const int dsz = ClauseSize(d);
+        bool sat = false;
+        for (int i = 0; i < dsz && !sat; ++i) sat = val_true(dl[i]);
+        if (!sat) worklist.push_back({d, kLitUndef, kLitUndef});
+      };
+      const auto check_var = [&](Var v) {
+        for (ClauseRef d : occur_[v]) check_clause(d);
+        for (int sign = 0; sign < 2; ++sign) {
+          const Lit u(v, sign != 0);
+          if (val_true(u)) continue;  // u true: its binaries all hold
+          for (Lit q : bins_[(~u).index()]) {
+            if (!val_true(q)) worklist.push_back({kRefUndef, u, q});
+          }
+        }
+      };
+      for (Var v = 0; v < old_nv; ++v) {
+        if (s.val[v] != sls_verified_val_[v]) check_var(v);
+      }
+      for (Var v = old_nv; v < nv; ++v) check_var(v);
+      for (size_t i = sls_verified_clauses_; i < clauses_.size(); ++i) {
+        check_clause(clauses_[i]);
+      }
+      for (const auto& [a, b] : sls_new_bins_) {
+        if (!val_true(a) && !val_true(b)) {
+          worklist.push_back({kRefUndef, a, b});
+        }
+      }
+      return true;
+    };
+
+    // Break count of flipping v: live clauses where v's currently true
+    // literal is the lone satisfier, plus binaries it alone holds up.
+    const auto breaks_of = [&](Var v) {
+      const Lit t = Lit(v, s.val[v] == 0);
+      int b = 0;
+      for (ClauseRef d : occur_[v]) {
+        if (ClauseDead(d)) continue;
+        const Lit* dl = ClauseLits(d);
+        const int dsz = ClauseSize(d);
+        int true_cnt = 0;
+        bool t_sats = false;
+        for (int i = 0; i < dsz && true_cnt < 2; ++i) {
+          if (val_true(dl[i])) {
+            ++true_cnt;
+            t_sats = t_sats || dl[i] == t;
+          }
+        }
+        if (true_cnt == 1 && t_sats) ++b;
+      }
+      for (Lit q : bins_[(~t).index()]) {
+        if (!val_true(q)) ++b;
+      }
+      return b;
+    };
+    // Chase what a flip of v just falsified: clauses holding the
+    // now-false literal of v with nothing else true, via the occurrence
+    // index and the binary lists.
+    const auto chase = [&](Var v) {
+      const Lit now_false = Lit(v, s.val[v] != 0);
+      for (ClauseRef d : occur_[v]) {
+        if (ClauseDead(d)) continue;
+        const Lit* dl = ClauseLits(d);
+        const int dsz = ClauseSize(d);
+        bool dsat = false;
+        for (int i = 0; i < dsz && !dsat; ++i) dsat = val_true(dl[i]);
+        if (!dsat) worklist.push_back({d, kLitUndef, kLitUndef});
+      }
+      for (Lit q : bins_[(~now_false).index()]) {
+        if (!val_true(q)) worklist.push_back({kRefUndef, now_false, q});
+      }
+    };
+    // Greedy min-break drain of the worklist (shared by the repair tier
+    // and the soft-improvement pass): pops falsified items, flips the
+    // minimum-break free variable of each (ties to the lowest id —
+    // fully deterministic, no RNG draw), and chases what every flip
+    // breaks. Flipped variables append to s.cand. Returns true only
+    // when the worklist fully drained within the flip budget.
+    const auto drain = [&](int64_t max_flips) {
+      int64_t flips = 0;
+      bool stuck = false;
+      size_t head = 0;
+      while (head < worklist.size() && flips < max_flips) {
+        const Bad item = worklist[head++];
+        // Lazy recheck: a later flip may have satisfied it already.
+        bool sat = false;
+        const Lit* lits = nullptr;
+        int sz = 0;
+        if (item.ref == kRefUndef) {
+          sat = val_true(item.a) || val_true(item.b);
+        } else {
+          lits = ClauseLits(item.ref);
+          sz = ClauseSize(item.ref);
+          for (int i = 0; i < sz && !sat; ++i) sat = val_true(lits[i]);
+        }
+        if (sat) continue;
+        Var chosen = kVarUndef;
+        int min_break = INT_MAX;
+        const auto consider = [&](Lit l) {
+          const Var v = l.var();
+          if (s.fixed[v]) return;
+          const int b = breaks_of(v);
+          if (b < min_break || (b == min_break && v < chosen)) {
+            min_break = b;
+            chosen = v;
+          }
+        };
+        if (item.ref == kRefUndef) {
+          consider(item.a);
+          consider(item.b);
+        } else {
+          for (int i = 0; i < sz; ++i) consider(lits[i]);
+        }
+        if (chosen == kVarUndef) {
+          // Every literal is fixed: falsified under the fixing itself.
+          stuck = true;
+          break;
+        }
+        s.val[chosen] ^= 1;
+        s.cand.push_back(chosen);
+        ++flips;
+        chase(chosen);
+      }
+      stats_.sls_flips += flips;
+      return !stuck && head >= worklist.size();
+    };
+    // Soft-improvement pass, run only with hard feasibility in hand:
+    // try to satisfy each falsified soft by flipping its min-break free
+    // variable and repairing the fallout with a bounded drain, rolling
+    // the whole chain back whenever it fails (re-flipping the log in
+    // reverse restores the exact prior assignment). This is what makes
+    // the fast tiers genuine optimizers: a fresh MaxSAT probe's
+    // selector variables all start at their default phase with every
+    // soft open, and without this pass the probe could only report the
+    // vacuous bound u = n. Feasibility is preserved by induction — a
+    // kept chain drained every violation it caused, a rejected one is
+    // undone — with a final incremental re-verification as a backstop.
+    const auto improve_softs = [&] {
+      if (softs.empty()) return;
+      const size_t pass_mark = s.cand.size();
+      for (const std::vector<Lit>& soft : softs) {
+        bool sat = false;
+        for (Lit l : soft) sat = sat || val_true(l);
+        if (sat) continue;
+        Var chosen = kVarUndef;
+        int min_break = INT_MAX;
+        for (Lit l : soft) {
+          const Var v = l.var();
+          if (s.fixed[v]) continue;
+          const int b = breaks_of(v);
+          if (b < min_break || (b == min_break && v < chosen)) {
+            min_break = b;
+            chosen = v;
+          }
+        }
+        if (chosen == kVarUndef) continue;  // fixed false; nothing to try
+        const size_t mark = s.cand.size();
+        s.val[chosen] ^= 1;
+        s.cand.push_back(chosen);
+        ++stats_.sls_flips;
+        // Pin the seed flip for the duration of the chain — otherwise
+        // the cheapest repair is almost always to flip it right back,
+        // and the pass would never achieve anything.
+        s.fixed[chosen] = 1;
+        worklist.clear();
+        chase(chosen);
+        const bool kept = drain(kSlsSoftChainFlips);
+        s.fixed[chosen] = 0;
+        if (!kept) {
+          while (s.cand.size() > mark) {
+            s.val[s.cand.back()] ^= 1;
+            s.cand.pop_back();
+          }
+          // The softs of one call are structurally alike (a MaxSAT
+          // probe's selectors all guard the same rule shape): when a
+          // chain fails, its siblings almost always fail the same way,
+          // so stop paying for them. Successes already kept stand.
+          break;
+        }
+      }
+      if (s.cand.size() > pass_mark) {
+        // Backstop re-verification of the kept chains; on failure the
+        // pass rolls back entirely to the proven-feasible base.
+        bool verified = false;
+        if (try_incremental()) {
+          verified = worklist.empty();
+        } else {
+          scan_all(/*collect=*/false);
+          verified = !any_unsat;
+        }
+        if (!verified) {
+          while (s.cand.size() > pass_mark) {
+            s.val[s.cand.back()] ^= 1;
+            s.cand.pop_back();
+          }
+        }
+      }
+    };
+
+    // `exhaustive` means the worklist holds every falsified live item.
+    bool exhaustive = try_incremental();
+    if (!exhaustive) {
+      scan_all(/*collect=*/true);
+      exhaustive = !any_unsat;
+    }
+    if (TrackOccurrences()) {
+      s.cand.clear();  // reused as the flipped-variable log
+      bool feasible = exhaustive && worklist.empty();
+      // Greedy repair, in rounds: drain the (possibly truncated)
+      // worklist, then re-verify from scratch — the verification, not
+      // the occurrence index (which carries stale and lazily-purged
+      // entries), is what the published model rests on. A re-scan that
+      // overflows the collection cap leaves a fresh partial worklist
+      // for the next round, so even a scan too broken to enumerate
+      // exhaustively up front can converge.
+      for (int round = 0;
+           round < kSlsRepairRounds && !feasible && !worklist.empty();
+           ++round) {
+        if (!drain(kSlsRepairMaxFlips)) break;  // stuck or out of budget
+        if (try_incremental()) {
+          feasible = worklist.empty();
+        } else {
+          scan_all(/*collect=*/true);
+          feasible = !any_unsat && worklist.empty();
+        }
+      }
+      if (feasible) {
+        improve_softs();
+        // Install the flipped phases so the next descent starts here —
+        // except for variables the softs mention: the exact search that
+        // follows a probe exists to satisfy softs, so their phases stay
+        // biased toward satisfaction rather than wherever the repair
+        // happened to leave them (flipping a selector off is the repair's
+        // cheapest move and the bound search's most expensive start).
+        const auto in_softs = [&](Var v) {
+          for (const std::vector<Lit>& soft : softs) {
+            for (Lit l : soft) {
+              if (l.var() == v) return true;
+            }
+          }
+          return false;
+        };
+        for (Var v : s.cand) {
+          if (!in_softs(v)) polarity_[v] = s.val[v] == 0;
+        }
+        publish();
+        return out;
+      }
+      // Repair ran out of budget or got stuck; the full search below
+      // starts from the mutated assignment deterministically.
+    } else if (exhaustive && worklist.empty()) {
+      // No occurrence index (so no repair or soft pass), but the saved
+      // phases already form a model; publish it as-is.
+      publish();
+      return out;
+    }
+  }
+
+  // Gather the active subformula: live problem clauses and binary
+  // implications not already satisfied by a fixed-true literal, with
+  // fixed-false literals dropped. A hard clause left empty is permanently
+  // falsified under the fixing (the CDCL solve will refute it; nothing
+  // for a flip search to do); an empty soft is a constant offset.
+  s.pool.clear();
+  s.starts.clear();
+  s.starts.push_back(0);
+  // Returns -1 when the clause is satisfied by the fixing (skipped), 1
+  // when it came up empty, 0 when it entered the pool.
+  const auto add_clause = [&](std::span<const Lit> lits) -> int {
+    const size_t start = s.pool.size();
+    for (Lit l : lits) {
+      if (s.fixed[l.var()]) {
+        if ((s.val[l.var()] != 0) != l.negated()) {
+          s.pool.resize(start);
+          return -1;
+        }
+        continue;
+      }
+      s.pool.push_back(l);
+    }
+    if (s.pool.size() == start) return 1;
+    s.starts.push_back(static_cast<int32_t>(s.pool.size()));
+    return 0;
+  };
+  int hard_count = 0;
+  for (ClauseRef c : clauses_) {
+    if (ClauseDead(c)) continue;
+    const int rc = add_clause({ClauseLits(c), ClauseLits(c) + ClauseSize(c)});
+    if (rc == 1) return out;
+    if (rc == 0) ++hard_count;
+  }
+  // Each binary clause (u ∨ q) appears mirrored in two implication
+  // lists; keep the copy where u has the smaller literal index.
+  for (int32_t i = 0; i < 2 * nv; ++i) {
+    const Lit u = ~Lit::FromIndex(i);
+    for (Lit q : bins_[i]) {
+      if (u.index() > q.index()) continue;
+      const Lit pair[2] = {u, q};
+      const int rc = add_clause({pair, 2});
+      if (rc == 1) return out;
+      if (rc == 0) ++hard_count;
+    }
+  }
+  int soft_base = 0;  // softs permanently unsatisfied under the fixing
+  bool soft_touches_elim = false;
+  for (const std::vector<Lit>& soft : softs) {
+    for (Lit l : soft) {
+      CCR_DCHECK(l.var() >= 0 && l.var() < nv);
+      // A soft touching an eliminated variable is scored against that
+      // variable's placeholder value; the bound consumer verifies with
+      // exact solves either way.
+      soft_touches_elim = soft_touches_elim || eliminated_[l.var()];
+    }
+    if (add_clause({soft.data(), soft.size()}) == 1) ++soft_base;
+  }
+  const int n_clauses = static_cast<int>(s.starts.size()) - 1;
+
+  s.free_vars.clear();
+  s.var_seen.assign(static_cast<size_t>(nv), 0);
+  for (Lit l : s.pool) {
+    if (!s.var_seen[l.var()]) {
+      s.var_seen[l.var()] = 1;
+      s.free_vars.push_back(l.var());
+    }
+  }
+
+  // Occurrence lists (lit index -> clause ids), flat CSR. Built lazily:
+  // a warm solver's saved phases are usually already a model, and the
+  // evaluate-only pass that discovers this never flips anything.
+  bool occ_built = false;
+  const auto build_occ = [&] {
+    s.occ_start.assign(static_cast<size_t>(2 * nv) + 1, 0);
+    for (Lit l : s.pool) ++s.occ_start[l.index() + 1];
+    for (size_t i = 1; i < s.occ_start.size(); ++i) {
+      s.occ_start[i] += s.occ_start[i - 1];
+    }
+    s.occ.resize(s.pool.size());
+    s.cursor.assign(s.occ_start.begin(), s.occ_start.end() - 1);
+    for (int c = 0; c < n_clauses; ++c) {
+      for (int32_t j = s.starts[c]; j < s.starts[c + 1]; ++j) {
+        s.occ[s.cursor[s.pool[j].index()]++] = c;
+      }
+    }
+    occ_built = true;
+  };
+
+  const int64_t max_flips =
+      budget.max_flips > 0
+          ? budget.max_flips
+          : std::min(kSlsFlipsCap,
+                     kSlsFlipsBase +
+                         kSlsFlipsPerVar *
+                             static_cast<int64_t>(s.free_vars.size()));
+  const int tries =
+      std::max(1, budget.tries > 0 ? budget.tries : options_.sls_tries);
+  const double noise = budget.noise >= 0 ? budget.noise : options_.sls_noise;
+  Rng rng(budget.has_seed
+              ? budget.seed
+              : kSlsSeedBase ^ (0x9e3779b97f4a7c15ULL * ++sls_salt_));
+
+  // O(1) unsatisfied-clause bookkeeping, hard and soft stacks apart so
+  // clause picking can insist on hard feasibility first.
+  const auto mark_unsat = [&](int c) {
+    std::vector<int32_t>& stack = c < hard_count ? s.unsat_hard : s.unsat_soft;
+    s.unsat_pos[c] = static_cast<int32_t>(stack.size());
+    stack.push_back(c);
+  };
+  const auto mark_sat = [&](int c) {
+    std::vector<int32_t>& stack = c < hard_count ? s.unsat_hard : s.unsat_soft;
+    const int32_t pos = s.unsat_pos[c];
+    stack[pos] = stack.back();
+    s.unsat_pos[stack.back()] = pos;
+    stack.pop_back();
+    s.unsat_pos[c] = -1;
+  };
+  // True literal of v under the current assignment.
+  const auto true_lit = [&](Var v) { return Lit(v, s.val[v] == 0); };
+  const auto break_count = [&](Var v) {
+    const int32_t idx = true_lit(v).index();
+    int breaks = 0;
+    for (int32_t j = s.occ_start[idx]; j < s.occ_start[idx + 1]; ++j) {
+      if (s.true_count[s.occ[j]] == 1) ++breaks;
+    }
+    return breaks;
+  };
+  const auto flip = [&](Var v) {
+    s.val[v] = s.val[v] ^ 1;
+    const Lit now_true = true_lit(v);
+    const Lit now_false = ~now_true;
+    for (int32_t j = s.occ_start[now_true.index()];
+         j < s.occ_start[now_true.index() + 1]; ++j) {
+      if (++s.true_count[s.occ[j]] == 1) mark_sat(s.occ[j]);
+    }
+    for (int32_t j = s.occ_start[now_false.index()];
+         j < s.occ_start[now_false.index() + 1]; ++j) {
+      if (--s.true_count[s.occ[j]] == 0) mark_unsat(s.occ[j]);
+    }
+  };
+
+  int best_hard = INT_MAX;
+  int best_soft = INT_MAX;
+  s.best.assign(s.val.begin(), s.val.end());
+  // Records the current assignment if it improves (hard count first,
+  // softs tie-break); returns true when nothing can improve further.
+  const auto consider_best = [&] {
+    const int h = static_cast<int>(s.unsat_hard.size());
+    const int sf = static_cast<int>(s.unsat_soft.size()) + soft_base;
+    if (h < best_hard || (h == best_hard && sf < best_soft)) {
+      best_hard = h;
+      best_soft = sf;
+      s.best.assign(s.val.begin(), s.val.end());
+    }
+    return s.unsat_hard.empty() && s.unsat_soft.empty();
+  };
+
+  int64_t flips_done = 0;
+  bool perfect = false;
+  for (int attempt = 0; attempt < tries && !perfect; ++attempt) {
+    if (attempt > 0) {
+      // Restart from a random assignment (try 0 searched the phases).
+      for (Var v : s.free_vars) s.val[v] = rng.Chance(0.5) ? 1 : 0;
+    }
+    s.true_count.assign(static_cast<size_t>(n_clauses), 0);
+    s.unsat_hard.clear();
+    s.unsat_soft.clear();
+    s.unsat_pos.assign(static_cast<size_t>(n_clauses), -1);
+    for (int c = 0; c < n_clauses; ++c) {
+      for (int32_t j = s.starts[c]; j < s.starts[c + 1]; ++j) {
+        const Lit l = s.pool[j];
+        if ((s.val[l.var()] != 0) != l.negated()) ++s.true_count[c];
+      }
+      if (s.true_count[c] == 0) mark_unsat(c);
+    }
+    perfect = consider_best();
+    if (!perfect && !occ_built) build_occ();
+
+    for (int64_t f = 0; f < max_flips && !perfect; ++f) {
+      if (s.unsat_hard.empty() && s.unsat_soft.empty()) break;
+      const int c =
+          !s.unsat_hard.empty()
+              ? s.unsat_hard[rng.Below(s.unsat_hard.size())]
+              : s.unsat_soft[rng.Below(s.unsat_soft.size())];
+      // Freebie move: a variable with break count 0, else noise/greedy.
+      s.cand.clear();
+      Var chosen = kVarUndef;
+      int min_break = INT_MAX;
+      for (int32_t j = s.starts[c]; j < s.starts[c + 1]; ++j) {
+        const Var v = s.pool[j].var();
+        const int b = break_count(v);
+        if (b == 0) s.cand.push_back(v);
+        if (b < min_break) {
+          min_break = b;
+          chosen = v;
+        }
+      }
+      if (!s.cand.empty()) {
+        chosen = s.cand[rng.Below(s.cand.size())];
+      } else if (rng.Chance(noise)) {
+        const int32_t len = s.starts[c + 1] - s.starts[c];
+        chosen = s.pool[s.starts[c] + rng.Below(len)].var();
+      }
+      flip(chosen);
+      ++flips_done;
+      perfect = consider_best();
+    }
+  }
+  stats_.sls_flips += flips_done;
+
+  out.ran = true;
+  out.feasible = best_hard == 0;
+  out.hard_unsat = best_hard;
+  out.soft_unsat = best_soft;
+  out.model.assign(s.best.begin(), s.best.end());
+
+  if (out.feasible) {
+    // Install the model as saved phases: the next CDCL descent starts
+    // at it. Only the searched variables move — fixed variables' phases
+    // are irrelevant (assigned) or owned by reconstruction. A failed
+    // search installs nothing: overwriting saved phases with a
+    // best-effort non-model measurably slows the solves that follow.
+    for (Var v : s.free_vars) polarity_[v] = s.best[v] == 0;
+    // Every live problem clause is satisfied; together with the level-0
+    // trail (dead clauses are subsumed, swept-satisfied, or reconstructed
+    // by the BVE stack) this extends to a genuine model, so it may enter
+    // the witness ring the same way a search model does.
+    std::vector<Lbool> m(static_cast<size_t>(nv));
+    for (Var v = 0; v < nv; ++v) {
+      m[v] = eliminated_[v] ? Lbool::kUndef
+                            : (s.best[v] ? Lbool::kTrue : Lbool::kFalse);
+    }
+    if (!elim_stack_.empty()) ExtendModel(&m);
+    CCR_DCHECK(DebugModelSatisfiesLive(m));
+    // Reflect the reconstructed values so out.model is a genuine model,
+    // and mark the soft score exact when no placeholder was involved.
+    for (Var v = 0; v < nv; ++v) {
+      if (eliminated_[v]) out.model[v] = m[v] == Lbool::kTrue ? 1 : 0;
+    }
+    out.softs_exact = !soft_touches_elim;
+    if (options_.use_model_cache) {
+      if (model_pool_.size() < kModelPoolSize) {
+        model_pool_.push_back(std::move(m));
+      } else {
+        model_pool_[model_pool_next_] = std::move(m);
+        model_pool_next_ = (model_pool_next_ + 1) % kModelPoolSize;
+      }
+      ++stats_.sls_seeded_models;
+    }
+    sls_verified_val_.assign(s.best.begin(), s.best.end());
+    sls_verified_clauses_ = clauses_.size();
+    sls_verified_epoch_ = sls_epoch_;
+    sls_new_bins_.clear();
+    sls_bin_log_overflow_ = false;
+  }
+  return out;
+}
+
+bool Solver::DebugModelSatisfiesLive(const std::vector<Lbool>& m) const {
+  if (m.size() < static_cast<size_t>(num_vars())) return false;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] != Lbool::kUndef && level_[v] == 0 &&
+        m[v] != assigns_[v]) {
+      return false;
+    }
+  }
+  for (ClauseRef c : clauses_) {
+    if (ClauseDead(c)) continue;
+    bool sat = false;
+    const Lit* lits = ClauseLits(c);
+    const int sz = ClauseSize(c);
+    for (int i = 0; i < sz && !sat; ++i) {
+      sat = LboolOf(m[lits[i].var()], lits[i].negated()) == Lbool::kTrue;
+    }
+    if (!sat) return false;
+  }
+  for (int32_t i = 0; i < 2 * num_vars(); ++i) {
+    const Lit u = ~Lit::FromIndex(i);
+    for (Lit q : bins_[i]) {
+      if (u.index() > q.index()) continue;
+      if (LboolOf(m[u.var()], u.negated()) != Lbool::kTrue &&
+          LboolOf(m[q.var()], q.negated()) != Lbool::kTrue) {
+        return false;
+      }
+    }
+  }
+  return true;
 }
 
 SolveResult Solver::SolveInternal(std::span<const Lit> assumptions) {
@@ -1099,8 +1946,15 @@ SolveResult Solver::SolveInternal(std::span<const Lit> assumptions) {
           // Trade places: the witness becomes model_, the displaced
           // newest model stays cached in the witness's slot. (Rotating
           // via CacheCurrentModel here could overwrite the very slot
-          // being read when the ring is full.)
-          std::swap(model_, model_pool_[k]);
+          // being read when the ring is full.) The swap is only legal
+          // while model_ is itself a model of the current formula; a
+          // stale model_ (invalidated, pool since repopulated by local
+          // search) must not re-enter the ring, so copy instead.
+          if (model_fresh_) {
+            std::swap(model_, model_pool_[k]);
+          } else {
+            model_ = model_pool_[k];
+          }
           model_fresh_ = true;
           hit = true;
         }
@@ -1158,6 +2012,9 @@ SolveResult Solver::SolveLoop(std::span<const Lit> assumptions) {
 // --- inprocessing --------------------------------------------------------
 
 void Solver::ShrinkClause(ClauseRef c, std::span<const Lit> lits) {
+  // In-place content change: the SLS verification cache's "unchanged
+  // clauses still hold" induction no longer applies.
+  ++sls_epoch_;
   // `c` is detached. Re-home the shortened clause by its new size.
   if (lits.empty()) {
     MarkClauseDead(c);
@@ -1409,6 +2266,7 @@ Solver::ClauseRef Solver::RelocateClause(ClauseRef c) {
 
 void Solver::GarbageCollect() {
   if (arena_.empty()) return;
+  ++sls_epoch_;  // refs relocate and clauses_ compacts
   const size_t old_words = arena_.size();
   arena_tmp_.clear();
   arena_tmp_.reserve(old_words - std::min(arena_dead_words_, old_words));

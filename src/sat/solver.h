@@ -89,6 +89,26 @@ struct SolverOptions {
   /// ModelValue exact for eliminated variables, so cached-model
   /// witnesses and downstream model extraction stay valid.
   bool use_bve = true;
+  /// Stochastic local search (WalkSAT) in the hot path. Both flags may
+  /// only change time-to-verdict, never a verdict: every answer is still
+  /// produced by the exact CDCL search / MaxSAT bound solves.
+  ///
+  /// use_sls_seeding: before CDCL search, a budgeted local-search pass
+  /// (Solver::SeedFromLocalSearch) installs its best assignment into the
+  /// saved-phase array, and — when the assignment satisfies every problem
+  /// clause — pushes it into the cached-model ring as a genuine witness.
+  bool use_sls_seeding = true;
+  /// use_sls_probing: IncrementalMaxSat runs the same local search over
+  /// hard+soft clauses first and uses the number of unsatisfied softs as
+  /// an upper bound u, verifying downward from u instead of climbing the
+  /// cardinality bound up from 0. When the probe hits the true optimum
+  /// the exact search collapses to two solves (SAT at u, UNSAT at u-1).
+  bool use_sls_probing = true;
+  /// Local-search budget: flips per try (0 = scaled to the free-variable
+  /// count), number of restarts, and WalkSAT noise probability.
+  int64_t sls_max_flips = 0;
+  int sls_tries = 2;
+  double sls_noise = 0.5;
   double var_decay = 0.95;
   double clause_decay = 0.999;
   int64_t max_conflicts = -1;     // < 0 means unlimited
@@ -108,6 +128,8 @@ struct SolverOptions {
     o.use_model_cache = false;
     o.use_arena_gc = false;
     o.use_bve = false;
+    o.use_sls_seeding = false;
+    o.use_sls_probing = false;
     return o;
   }
 };
@@ -155,6 +177,15 @@ struct SolverStats {
   /// resolvent clauses added back in their place (use_bve).
   int64_t bve_eliminated = 0;
   int64_t bve_resolvents = 0;
+  /// Stochastic local search: flips performed across all
+  /// SeedFromLocalSearch calls, fully satisfying assignments pushed into
+  /// the cached-model ring (use_sls_seeding / use_sls_probing), and
+  /// MaxSAT upper-bound probes run / probes whose bound was the exact
+  /// optimum (reported back by IncrementalMaxSat via RecordSlsProbe).
+  int64_t sls_flips = 0;
+  int64_t sls_seeded_models = 0;
+  int64_t sls_probes = 0;
+  int64_t sls_probe_wins = 0;
 
   /// Component-wise difference (for per-call and per-phase deltas).
   SolverStats operator-(const SolverStats& o) const {
@@ -175,7 +206,11 @@ struct SolverStats {
             gc_runs - o.gc_runs,
             gc_reclaimed_words - o.gc_reclaimed_words,
             bve_eliminated - o.bve_eliminated,
-            bve_resolvents - o.bve_resolvents};
+            bve_resolvents - o.bve_resolvents,
+            sls_flips - o.sls_flips,
+            sls_seeded_models - o.sls_seeded_models,
+            sls_probes - o.sls_probes,
+            sls_probe_wins - o.sls_probe_wins};
   }
 
   /// Component-wise sum (for pooling per-phase deltas across rounds and
@@ -199,8 +234,47 @@ struct SolverStats {
     gc_reclaimed_words += o.gc_reclaimed_words;
     bve_eliminated += o.bve_eliminated;
     bve_resolvents += o.bve_resolvents;
+    sls_flips += o.sls_flips;
+    sls_seeded_models += o.sls_seeded_models;
+    sls_probes += o.sls_probes;
+    sls_probe_wins += o.sls_probe_wins;
     return *this;
   }
+};
+
+/// Explicit budget for one local-search pass. Zero / negative fields fall
+/// back to SolverOptions (sls_max_flips / sls_tries / sls_noise).
+struct LocalSearchBudget {
+  int64_t max_flips = 0;  // per try; 0 = auto
+  int tries = 0;          // 0 = SolverOptions::sls_tries
+  double noise = -1.0;    // < 0 = SolverOptions::sls_noise
+  /// When set, seeds the RNG from `seed` instead of the solver's per-call
+  /// salt — RunWalkSat's same-seed determinism contract rides on this.
+  bool has_seed = false;
+  uint64_t seed = 0;
+};
+
+/// Outcome of Solver::SeedFromLocalSearch.
+struct LocalSearchResult {
+  /// False when the search could not run at all: the solver is already
+  /// UNSAT, or the assumptions contradict each other / the level-0 trail.
+  bool ran = false;
+  /// The best assignment satisfies every live problem clause (together
+  /// with the level-0 trail it is then a genuine model).
+  bool feasible = false;
+  /// Problem clauses left unsatisfied by the best assignment.
+  int hard_unsat = 0;
+  /// Soft clauses left unsatisfied by the best assignment (the MaxSAT
+  /// upper bound u when `feasible`).
+  int soft_unsat = 0;
+  /// True when `feasible` and no soft clause touches a BVE-eliminated
+  /// variable: `soft_unsat` is then the exact score of `model` (a genuine
+  /// model), not an estimate against placeholder values.
+  bool softs_exact = false;
+  /// Best assignment per variable. When `feasible`, eliminated variables
+  /// carry their reconstructed values, making this a genuine model;
+  /// otherwise they are unspecified.
+  std::vector<uint8_t> model;
 };
 
 /// \brief Incremental CDCL solver.
@@ -257,6 +331,7 @@ class Solver {
   const std::vector<Lit>& FailedAssumptions() const { return conflict_core_; }
 
   const SolverStats& stats() const { return stats_; }
+  const SolverOptions& options() const { return options_; }
 
   /// Statistics of the most recent Solve/SolveWithAssumptions call alone.
   /// With one solver shared across pipeline phases (validity, deduction,
@@ -288,6 +363,35 @@ class Solver {
 
   /// True if unsatisfiability was established independent of assumptions.
   bool IsUnsatForever() const { return !ok_; }
+
+  /// \brief WalkSAT-style local search run directly on the solver's own
+  /// clause arena and binary watch lists (no CNF copy; scratch buffers
+  /// are pooled on the solver and reused across calls).
+  ///
+  /// Variables fixed on the level-0 trail, named by `assumptions`, or
+  /// eliminated by BVE never flip; the search covers exactly the live
+  /// problem clauses not already satisfied by those fixings. The best
+  /// assignment found is installed into the saved-phase array (biasing
+  /// the next CDCL descent toward it), and when it satisfies every
+  /// problem clause it is extended over eliminated variables and pushed
+  /// into the cached-model ring as a genuine witness. `softs` (clauses
+  /// over existing, non-eliminated variables) are scored but never
+  /// required: the returned soft_unsat of a feasible pass is the MaxSAT
+  /// upper-bound probe. Deterministic: the RNG is seeded from a per-call
+  /// salt (reset by Reset()) or budget.seed — never wall-clock or global
+  /// state. Must be called at decision level 0. Verdict-neutral by
+  /// construction: phases and cached models only steer search time.
+  LocalSearchResult SeedFromLocalSearch(
+      std::span<const Lit> assumptions = {},
+      std::span<const std::vector<Lit>> softs = {},
+      const LocalSearchBudget& budget = {});
+
+  /// MaxSAT layer reporting: an upper-bound probe ran; `win` when the
+  /// probed bound turned out to be the exact optimum.
+  void RecordSlsProbe(bool win) {
+    ++stats_.sls_probes;
+    if (win) ++stats_.sls_probe_wins;
+  }
 
   /// Asserts ¬activation plus ¬v for every scope variable in one batch —
   /// a single multi-literal pass with ONE propagation round, instead of
@@ -482,7 +586,11 @@ class Solver {
   // --- model cache ------------------------------------------------------
   bool ModelWitnesses(const std::vector<Lbool>& m,
                       std::span<const Lit> assumptions) const {
-    for (Lit a : assumptions) {
+    // Backwards: callers append the discriminating literal (cell value,
+    // bound selector) after the long-lived guard prefix, so misses fail
+    // on the first probe instead of re-checking the shared guards.
+    for (size_t i = assumptions.size(); i-- > 0;) {
+      const Lit a = assumptions[i];
       if (static_cast<size_t>(a.var()) >= m.size()) return false;
       if (LboolOf(m[a.var()], a.negated()) != Lbool::kTrue) return false;
     }
@@ -497,6 +605,9 @@ class Solver {
   // Rotates the previous newest model into the ring before model_ is
   // overwritten by a fresh solve.
   void CacheCurrentModel();
+  // Debug aid: does `m` satisfy every live problem clause, every binary,
+  // and agree with the level-0 trail?
+  bool DebugModelSatisfiesLive(const std::vector<Lbool>& m) const;
 
   // --- inprocessing ----------------------------------------------------
   void SubsumptionPass();
@@ -615,6 +726,51 @@ class Solver {
   // purged lazily when dead entries are scanned, and rebuilt exactly —
   // same order — by GarbageCollect.
   std::vector<std::vector<ClauseRef>> occur_;
+
+  // Stochastic local search scratch (SeedFromLocalSearch), pooled so
+  // repeated seeding/probing calls on a long-lived solver allocate
+  // nothing once warm. The active subformula (live clauses minus those
+  // satisfied by the fixing, fixed-false literals dropped) is gathered
+  // into flat CSR buffers per call.
+  struct SlsScratch {
+    std::vector<Lit> pool;          // clause literals, CSR
+    std::vector<int32_t> starts;    // clause -> offset into pool
+    std::vector<int32_t> occ;       // lit index -> clause ids, CSR
+    std::vector<int32_t> occ_start;
+    std::vector<int32_t> cursor;    // CSR fill cursors
+    std::vector<uint8_t> val;       // per var: current assignment
+    std::vector<uint8_t> fixed;     // per var: never flipped
+    std::vector<uint8_t> best;      // per var: best assignment seen
+    std::vector<int32_t> true_count;  // per clause
+    std::vector<int32_t> unsat_hard;  // stacks of unsatisfied clause ids
+    std::vector<int32_t> unsat_soft;
+    std::vector<int32_t> unsat_pos;   // clause -> position in its stack
+    std::vector<Var> free_vars;       // distinct unfixed vars in pool
+    std::vector<uint8_t> var_seen;    // per var: dedup for free_vars
+    std::vector<Var> cand;            // zero-break candidates per flip
+  };
+  SlsScratch sls_;
+  // Per-call RNG salt: advances on every auto-seeded search so repeated
+  // calls explore different trajectories, deterministically. Reset()
+  // zeroes it — a Reset solver replays the identical stream.
+  uint64_t sls_salt_ = 0;
+
+  // Incremental local-search verification cache: the last assignment a
+  // SeedFromLocalSearch call proved to satisfy every live clause, plus
+  // watermarks describing the formula it was proved against. A later
+  // call can then re-verify only what changed — variables whose value
+  // differs (their clauses found through occur_ and bins_), arena
+  // clauses appended past the watermark, and the logged problem
+  // binaries — instead of scanning the whole clause database. Any
+  // in-place clause edit or clause-list compaction bumps sls_epoch_,
+  // voiding the cache until the next full verification; the binary log
+  // is bounded, overflowing into the same voiding.
+  std::vector<uint8_t> sls_verified_val_;  // empty = nothing verified yet
+  size_t sls_verified_clauses_ = 0;        // clauses_.size() at verify
+  uint64_t sls_epoch_ = 0;
+  uint64_t sls_verified_epoch_ = 0;
+  bool sls_bin_log_overflow_ = false;
+  std::vector<std::pair<Lit, Lit>> sls_new_bins_;
 
   // Bounded variable elimination state. The stack records every clause
   // removed with its variable; ExtendModel replays it newest-first to

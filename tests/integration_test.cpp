@@ -97,7 +97,8 @@ TEST(IntegrationTest, WalkSatSolvesGeneratedPhi) {
     wopts.max_flips = 400000;
     wopts.tries = 5;
     const auto r = maxsat::RunWalkSat(phi, wopts);
-    EXPECT_TRUE(r.satisfied) << "entity " << i;
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->satisfied) << "entity " << i;
   }
 }
 

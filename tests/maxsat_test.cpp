@@ -252,8 +252,26 @@ TEST(WalkSatTest, SolvesEasySatFormula) {
   cnf.AddUnit(Lit::Neg(c));
   WalkSatOptions opts;
   const auto r = RunWalkSat(cnf, opts);
-  EXPECT_TRUE(r.satisfied);
-  EXPECT_EQ(r.best_unsat, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->satisfied);
+  EXPECT_EQ(r->best_unsat, 0);
+}
+
+TEST(WalkSatTest, RejectsInvalidOptions) {
+  Cnf cnf;
+  cnf.AddUnit(Lit::Pos(cnf.NewVar()));
+  WalkSatOptions opts;
+  opts.max_flips = 0;
+  EXPECT_EQ(RunWalkSat(cnf, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = {};
+  opts.tries = -1;
+  EXPECT_EQ(RunWalkSat(cnf, opts).status().code(),
+            StatusCode::kInvalidArgument);
+  opts = {};
+  opts.noise = 1.5;
+  EXPECT_EQ(RunWalkSat(cnf, opts).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(WalkSatTest, ApproximatesMaxSatOnUnsatFormula) {
@@ -263,8 +281,9 @@ TEST(WalkSatTest, ApproximatesMaxSatOnUnsatFormula) {
   cnf.AddUnit(Lit::Pos(a));
   cnf.AddUnit(Lit::Neg(a));
   const auto r = RunWalkSat(cnf, {});
-  EXPECT_FALSE(r.satisfied);
-  EXPECT_EQ(r.best_unsat, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->satisfied);
+  EXPECT_EQ(r->best_unsat, 1);
 }
 
 TEST(WalkSatTest, DeterministicUnderSeed) {
@@ -282,8 +301,10 @@ TEST(WalkSatTest, DeterministicUnderSeed) {
   opts.seed = 77;
   const auto r1 = RunWalkSat(cnf, opts);
   const auto r2 = RunWalkSat(cnf, opts);
-  EXPECT_EQ(r1.best_unsat, r2.best_unsat);
-  EXPECT_EQ(r1.model, r2.model);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->best_unsat, r2->best_unsat);
+  EXPECT_EQ(r1->model, r2->model);
 }
 
 TEST(WalkSatTest, AgreesWithCdclOnRandomFormulas) {
@@ -309,13 +330,14 @@ TEST(WalkSatTest, AgreesWithCdclOnRandomFormulas) {
     WalkSatOptions opts;
     opts.seed = round;
     const auto r = RunWalkSat(cnf, opts);
+    ASSERT_TRUE(r.ok());
     // WalkSAT is incomplete: it may miss a satisfying assignment but must
     // never claim satisfied on an UNSAT formula.
     if (!sat) {
-      EXPECT_FALSE(r.satisfied) << "round " << round;
+      EXPECT_FALSE(r->satisfied) << "round " << round;
       ++checked;
-    } else if (r.satisfied) {
-      EXPECT_EQ(r.best_unsat, 0);
+    } else if (r->satisfied) {
+      EXPECT_EQ(r->best_unsat, 0);
       ++checked;
     }
   }

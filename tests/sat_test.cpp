@@ -287,6 +287,7 @@ struct FuzzParams {
   bool simplify_midway = false;  // feed half, Simplify (inprocess), rest
   bool eager_gc = false;         // gc_frac = 0: compact at every chance
   bool mark_eliminable = false;  // BVE a third of the vars, then solve
+  bool sls_seed = false;         // run SeedFromLocalSearch before Solve
 };
 
 class SolverFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
@@ -299,7 +300,7 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
           (p.ema_restarts ? 64 : 0) + (p.deep_ccmin ? 128 : 0) +
           (p.inprocessing ? 1024 : 0) + (p.model_cache ? 256 : 0) +
           (p.simplify_midway ? 512 : 0) + (p.eager_gc ? 2048 : 0) +
-          (p.mark_eliminable ? 4096 : 0));
+          (p.mark_eliminable ? 4096 : 0) + (p.sls_seed ? 8192 : 0));
   int sat_count = 0, unsat_count = 0;
   for (int round = 0; round < 150; ++round) {
     const int n_vars = 3 + static_cast<int>(rng.Below(10));
@@ -355,6 +356,15 @@ TEST_P(SolverFuzzTest, MatchesBruteForce) {
       for (Var v = 0; v < cnf.num_vars(); v += 3) solver.MarkEliminable(v);
       alive = solver.Simplify();
     }
+    if (p.sls_seed && alive) {
+      // Local-search warm start: rewrites saved phases and may push a
+      // witness into the model pool, but the verdict below must still
+      // match brute force — SLS can only change time-to-verdict.
+      const LocalSearchResult seeded = solver.SeedFromLocalSearch();
+      if (seeded.feasible) {
+        EXPECT_EQ(seeded.hard_unsat, 0);
+      }
+    }
     const bool expected = BruteForceSat(cnf);
     const SolveResult got = solver.Solve();
     ASSERT_EQ(got == SolveResult::kSat, expected) << "round " << round;
@@ -392,6 +402,12 @@ INSTANTIATE_TEST_SUITE_P(
         // the freshly rewritten arena.
         FuzzParams{.mark_eliminable = true},
         FuzzParams{.eager_gc = true, .mark_eliminable = true},
+        // SLS-seeded lanes: a local-search pass before every Solve, alone
+        // and stacked on BVE (eliminated vars must stay off-limits to the
+        // flip loop) and on the half-loaded inprocessing path.
+        FuzzParams{.sls_seed = true},
+        FuzzParams{.mark_eliminable = true, .sls_seed = true},
+        FuzzParams{.simplify_midway = true, .sls_seed = true},
         // Fully legacy: the 2003-era solver this repo started from.
         FuzzParams{.vsids = false, .phase_saving = false, .restarts = false,
                    .deletion = false, .binary_watches = false,

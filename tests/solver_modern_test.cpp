@@ -27,7 +27,7 @@ using sat::SolverOptions;
 using sat::Var;
 
 SolverOptions MakeOptions(bool bin, bool tiers, bool ema, bool ccmin,
-                          bool inproc, bool gc, bool cache) {
+                          bool inproc, bool gc, bool sls, bool cache) {
   SolverOptions o;
   o.use_binary_watches = bin;
   o.use_lbd_tiers = tiers;
@@ -35,6 +35,8 @@ SolverOptions MakeOptions(bool bin, bool tiers, bool ema, bool ccmin,
   o.use_deep_ccmin = ccmin;
   o.use_inprocessing = inproc;
   o.use_arena_gc = gc;
+  o.use_sls_seeding = sls;
+  o.use_sls_probing = sls;
   o.use_model_cache = cache;
   return o;
 }
@@ -78,18 +80,19 @@ std::string ResolveCorpusToJson(const Dataset& ds,
   return ExperimentResultToJson(r, jopts);
 }
 
-// The CI gate of this PR: every combination of the six modernization
-// flags (with the witness cache on, the default) plus the fully-legacy
-// and cache-less-modern spot checks produce byte-identical
+// The CI gate of this PR: every combination of the seven modernization
+// flags — the six CDCL features plus the SLS warm-start bit, with the
+// witness cache on (the default) — plus the fully-legacy and
+// cache-less-modern spot checks produce byte-identical
 // ExperimentResults on all three corpora.
 TEST(SolverAblationEquivalenceTest, EveryOptionComboResolvesIdentically) {
   for (const std::string kind : {"person", "nba", "career"}) {
     const Dataset ds = AblationCorpus(kind);
     const std::string baseline = ResolveCorpusToJson(ds, SolverOptions{});
-    for (int mask = 0; mask < 64; ++mask) {
+    for (int mask = 0; mask < 128; ++mask) {
       const SolverOptions opts =
           MakeOptions(mask & 1, mask & 2, mask & 4, mask & 8, mask & 16,
-                      mask & 32, /*cache=*/true);
+                      mask & 32, mask & 64, /*cache=*/true);
       EXPECT_EQ(ResolveCorpusToJson(ds, opts), baseline)
           << kind << " flag mask " << mask;
     }
@@ -99,8 +102,8 @@ TEST(SolverAblationEquivalenceTest, EveryOptionComboResolvesIdentically) {
     EXPECT_EQ(ResolveCorpusToJson(ds, SolverOptions::LegacyHeuristics()),
               baseline)
         << kind << " legacy, no cache";
-    EXPECT_EQ(ResolveCorpusToJson(
-                  ds, MakeOptions(true, true, true, true, true, true, false)),
+    EXPECT_EQ(ResolveCorpusToJson(ds, MakeOptions(true, true, true, true,
+                                                  true, true, true, false)),
               baseline)
         << kind << " modern, no cache";
     // Collector pressure extremes: compact at every opportunity

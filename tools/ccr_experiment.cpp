@@ -78,8 +78,11 @@ void PrintUsage(std::FILE* to) {
                "                    default) | legacy (all five off; the\n"
                "                    MiniSat-2003 heuristics) | nogc (modern\n"
                "                    with arena GC and variable elimination\n"
-               "                    off). Results are bit-identical in all\n"
-               "                    cases.\n"
+               "                    off) | sls (alias of modern; the SLS\n"
+               "                    warm starts are on by default) | nosls\n"
+               "                    (modern with local-search seeding and\n"
+               "                    MaxSAT probing off). Results are\n"
+               "                    bit-identical in all cases.\n"
                "  --solver-stats    dump pooled per-phase solver statistics\n"
                "                    (conflicts, binary propagations, glue,\n"
                "                    tier/inprocessing counters) on stderr\n"
@@ -153,8 +156,10 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
       const char* v = next_value("--solver");
       if (v == nullptr) return 2;
       if (std::string(v) != "modern" && std::string(v) != "legacy" &&
-          std::string(v) != "nogc") {
-        std::fprintf(stderr, "--solver wants modern|legacy|nogc, got %s\n",
+          std::string(v) != "nogc" && std::string(v) != "sls" &&
+          std::string(v) != "nosls") {
+        std::fprintf(stderr,
+                     "--solver wants modern|legacy|nogc|sls|nosls, got %s\n",
                      v);
         return 2;
       }
@@ -332,7 +337,9 @@ void DumpSolverStats(const ExperimentResult& r) {
                  "\"learnt_local\": %lld, \"subsumed\": %lld, "
                  "\"vivified\": %lld, \"model_cache_hits\": %lld, "
                  "\"gc_runs\": %lld, \"gc_reclaimed_words\": %lld, "
-                 "\"bve_eliminated\": %lld, \"bve_resolvents\": %lld}%s\n",
+                 "\"bve_eliminated\": %lld, \"bve_resolvents\": %lld, "
+                 "\"sls_flips\": %lld, \"sls_seeded_models\": %lld, "
+                 "\"sls_probes\": %lld, \"sls_probe_wins\": %lld}%s\n",
                  phase, static_cast<long long>(s.conflicts),
                  static_cast<long long>(s.decisions),
                  static_cast<long long>(s.propagations),
@@ -351,6 +358,10 @@ void DumpSolverStats(const ExperimentResult& r) {
                  static_cast<long long>(s.gc_reclaimed_words),
                  static_cast<long long>(s.bve_eliminated),
                  static_cast<long long>(s.bve_resolvents),
+                 static_cast<long long>(s.sls_flips),
+                 static_cast<long long>(s.sls_seeded_models),
+                 static_cast<long long>(s.sls_probes),
+                 static_cast<long long>(s.sls_probe_wins),
                  last ? "" : ",");
   };
   std::fprintf(stderr, "{\n  \"solver_stats\": {\n");
@@ -382,6 +393,12 @@ int RunShard(const CliOptions& o) {
     // byte-identity lane that proves GC/BVE never change results.
     eopts.resolve.solver.use_arena_gc = false;
     eopts.resolve.solver.use_bve = false;
+  } else if (o.solver == "nosls") {
+    // Modern heuristics without the local-search warm starts: the
+    // byte-identity lane (and the bench baseline) that proves SLS only
+    // changes time-to-verdict. "sls" is an alias of the default.
+    eopts.resolve.solver.use_sls_seeding = false;
+    eopts.resolve.solver.use_sls_probing = false;
   }
   const std::vector<int> indices = ShardIndices(
       static_cast<int>(ds.entities.size()), o.shard, o.num_shards);
