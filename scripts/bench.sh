@@ -35,6 +35,11 @@ if [[ -z "${CCR_BENCH_SKIP_RUN:-}" ]]; then
   echo
   echo "Running bench_throughput -> BENCH_throughput.json"
   "$BUILD_DIR"/bench/bench_throughput | tee BENCH_throughput.json
+  # The service load generator (in-process server over a loopback socket)
+  # splices its section in as the "service" key; bench_smoke.sh gates the
+  # rehydration-equivalence and clean-shutdown bits.
+  echo "Running bench_service -> BENCH_throughput.json (service section)"
+  "$BUILD_DIR"/bench/bench_service --merge-into BENCH_throughput.json
   # Run-stamped history copy, keyed by the commit the run measured (the
   # working-tree sha, not a timestamp — reruns at one commit overwrite,
   # which is what a perf trajectory wants).

@@ -26,7 +26,15 @@
 #   * the sls_warm_start section (local-search warm starts on vs off)
 #     reported non-identical resolutions, performed a session rebuild,
 #     or fell below its Suggest speedup floor (CCR_BENCH_SLS_FLOOR,
-#     default 1.1 — SLS may only ever change time-to-verdict).
+#     default 1.1 — SLS may only ever change time-to-verdict), or
+#   * the service section (bench_service driving a real server over a
+#     loopback socket with forced eviction) reported a ROUND or SNAPSHOT
+#     reply that differed from the never-evicted local session
+#     (identical_after_rehydrate), a dirty shutdown, any client error,
+#     zero rehydrations (the workload forces them — zero means eviction
+#     stopped round-tripping through snapshot bytes), or a sessions/sec
+#     rate below CCR_BENCH_SERVICE_FLOOR (default 1 — a catastrophic-
+#     regression tripwire, not a perf target).
 #
 # thread_scaling is only gated on multi-core runners: on a 1-core
 # container the bench reports "skipped": true (an N-thread run there
@@ -49,6 +57,7 @@ SUGGEST_FLOOR="${CCR_BENCH_SUGGEST_FLOOR:-1.3}"
 SOLVER_FLOOR="${CCR_BENCH_SOLVER_FLOOR:-1.2}"
 GC_RECLAIM_FLOOR="${CCR_BENCH_GC_RECLAIM_FLOOR:-1000}"
 SLS_FLOOR="${CCR_BENCH_SLS_FLOOR:-1.1}"
+SERVICE_FLOOR="${CCR_BENCH_SERVICE_FLOOR:-1}"
 
 scripts/bench.sh "${1:-build-bench}"
 
@@ -56,11 +65,13 @@ echo
 echo "Gating BENCH_throughput.json (incremental floor: ${FLOOR}x," \
      "suggest floor: ${SUGGEST_FLOOR}x, solver floor: ${SOLVER_FLOOR}x," \
      "GC reclaim floor: ${GC_RECLAIM_FLOOR} words," \
-     "SLS suggest floor: ${SLS_FLOOR}x)"
+     "SLS suggest floor: ${SLS_FLOOR}x," \
+     "service floor: ${SERVICE_FLOOR} sessions/s)"
 jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
       --argjson solfloor "$SOLVER_FLOOR" \
       --argjson gcfloor "$GC_RECLAIM_FLOOR" \
-      --argjson slsfloor "$SLS_FLOOR" '
+      --argjson slsfloor "$SLS_FLOOR" \
+      --argjson svcfloor "$SERVICE_FLOOR" '
   (.incremental.identical_results == true)
   and (.incremental.resolve_errors == 0)
   and (.suggest_incremental.identical_results == true)
@@ -78,6 +89,11 @@ jq -e --argjson floor "$FLOOR" --argjson sfloor "$SUGGEST_FLOOR" \
   and (.sls_warm_start.resolve_errors == 0)
   and (.sls_warm_start.session_rebuilds == 0)
   and (.sls_warm_start.suggest_speedup >= $slsfloor)
+  and (.service.identical_after_rehydrate == true)
+  and (.service.clean_shutdown == true)
+  and (.service.errors == 0)
+  and (.service.rehydrations >= 1)
+  and (.service.sessions_per_sec >= $svcfloor)
   and (.incremental.speedup >= $floor)
   and (.suggest_incremental.speedup >= $sfloor)
 ' BENCH_throughput.json >/dev/null || {
@@ -92,4 +108,8 @@ echo "OK: incremental speedup $(jq .incremental.speedup BENCH_throughput.json)x,
      "GC reclaimed $(jq .memory_lifecycle.gc_on.reclaimed_words BENCH_throughput.json) arena words," \
      "SLS suggest speedup $(jq .sls_warm_start.suggest_speedup BENCH_throughput.json)x" \
      "(probe hit-rate $(jq .sls_warm_start.probe_hit_rate BENCH_throughput.json))," \
+     "service $(jq .service.sessions_per_sec BENCH_throughput.json) sessions/s" \
+     "(p50 $(jq .service.round_p50_ms BENCH_throughput.json) ms," \
+     "p99 $(jq .service.round_p99_ms BENCH_throughput.json) ms," \
+     "$(jq .service.rehydrations BENCH_throughput.json) rehydrations)," \
      "all equivalence checks true"

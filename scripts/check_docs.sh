@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Docs link checker: every relative link target in the repo's markdown
+# must exist. Catches the rot mode docs actually suffer — a file moves or
+# a section is renamed and README keeps pointing at the old path.
+#
+# Checks [text](target) links in all tracked *.md files, skipping
+# absolute URLs (http/https/mailto) and pure #anchors. A target with a
+# #fragment is checked for file existence only.
+#
+# Usage: scripts/check_docs.sh
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  # Pull out every inline link target. Grep emits `(target)` captures one
+  # per line; strip the parens, then filter.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;  # external
+      \#*) continue ;;                          # same-file anchor
+    esac
+    path="${target%%#*}"
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "BROKEN: $md -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$md" 2>/dev/null \
+             | sed 's/^\[[^]]*\](//; s/)$//' \
+             | sed 's/ ".*"$//')
+done < <(git ls-files '*.md')
+
+if [[ "$fail" != 0 ]]; then
+  echo "FAIL: broken relative links in markdown (see above)" >&2
+  exit 1
+fi
+echo "OK: all relative markdown links resolve"

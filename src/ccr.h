@@ -43,5 +43,11 @@
 #include "src/relational/entity_instance.h"
 #include "src/sat/dimacs.h"
 #include "src/sat/solver.h"
+#include "src/service/client.h"
+#include "src/service/server.h"
+#include "src/service/session_manager.h"
+#include "src/service/session_runtime.h"
+#include "src/service/snapshot.h"
+#include "src/service/wire.h"
 
 #endif  // CCR_CCR_H_

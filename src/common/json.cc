@@ -1,0 +1,184 @@
+#include "src/common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace ccr {
+namespace json {
+
+void AppendEscaped(std::string_view v, std::string* out) {
+  for (const char c : v) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\b':
+        out->append("\\b");
+        break;
+      case '\f':
+        out->append("\\f");
+        break;
+      default:
+        if (u < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          out->append(buf);
+        } else {
+          // Bytes >= 0x80 pass through raw (UTF-8 pass-through): strings
+          // are byte strings and the reader accepts raw high bytes.
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void Writer::Value(double v) {
+  // %.17g survives a double -> text -> double round trip exactly, and
+  // equal doubles format to equal bytes — both load-bearing for the
+  // byte-identity regression checks built on these files.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_.append(buf);
+  first_ = false;
+}
+
+bool Reader::ConsumeWord(std::string_view word) {
+  SkipWs();
+  if (text_.substr(pos_, word.size()) != word) return false;
+  pos_ += word.size();
+  return true;
+}
+
+Status Reader::ParseString(std::string* out) {
+  if (!Consume('"')) return Fail("expected string");
+  out->clear();
+  while (pos_ < text_.size() && text_[pos_] != '"') {
+    char c = text_[pos_];
+    if (c != '\\') {
+      out->push_back(c);
+      ++pos_;
+      continue;
+    }
+    ++pos_;  // backslash
+    if (pos_ >= text_.size()) return Fail("unterminated escape");
+    const char esc = text_[pos_++];
+    switch (esc) {
+      case '"':
+        out->push_back('"');
+        break;
+      case '\\':
+        out->push_back('\\');
+        break;
+      case '/':
+        out->push_back('/');
+        break;
+      case 'n':
+        out->push_back('\n');
+        break;
+      case 't':
+        out->push_back('\t');
+        break;
+      case 'r':
+        out->push_back('\r');
+        break;
+      case 'b':
+        out->push_back('\b');
+        break;
+      case 'f':
+        out->push_back('\f');
+        break;
+      case 'u': {
+        if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+          const char h = text_[pos_ + static_cast<size_t>(i)];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            code |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            code |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return Fail("bad \\u escape digit");
+          }
+        }
+        // Strings are byte strings: only single-byte escapes are
+        // meaningful (the writer never emits larger code points).
+        if (code > 0xFF) return Fail("\\u escape above 0xFF unsupported");
+        out->push_back(static_cast<char>(code));
+        pos_ += 4;
+        break;
+      }
+      default:
+        return Fail("unknown escape sequence");
+    }
+  }
+  if (pos_ >= text_.size()) return Fail("unterminated string");
+  ++pos_;  // closing quote
+  return Status::OK();
+}
+
+Status Reader::ParseDouble(double* out) {
+  SkipWs();
+  const char* begin = text_.data() + pos_;
+  const char* end = text_.data() + text_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc()) return Fail("expected number");
+  pos_ += static_cast<size_t>(ptr - begin);
+  return Status::OK();
+}
+
+Status Reader::ParseInt(int* out) {
+  double v = 0;
+  CCR_RETURN_NOT_OK(ParseDouble(&v));
+  // Range-check before the cast: double -> int of an out-of-range value
+  // is UB, so the guard must run on the double.
+  if (v < static_cast<double>(std::numeric_limits<int>::min()) ||
+      v > static_cast<double>(std::numeric_limits<int>::max()) ||
+      v != std::trunc(v)) {
+    return Fail("expected integer");
+  }
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+Status Reader::ParseInt64(int64_t* out) {
+  SkipWs();
+  const char* begin = text_.data() + pos_;
+  const char* end = text_.data() + text_.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  if (ec != std::errc()) return Fail("expected integer");
+  pos_ += static_cast<size_t>(ptr - begin);
+  return Status::OK();
+}
+
+Status Reader::ParseBool(bool* out) {
+  if (ConsumeWord("true")) {
+    *out = true;
+    return Status::OK();
+  }
+  if (ConsumeWord("false")) {
+    *out = false;
+    return Status::OK();
+  }
+  return Fail("expected bool");
+}
+
+}  // namespace json
+}  // namespace ccr

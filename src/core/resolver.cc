@@ -10,11 +10,6 @@
 
 namespace ccr {
 
-namespace {
-
-// Number of attributes that can possibly be resolved: those with at least
-// one non-null value somewhere (empty-domain attributes have no candidate
-// true value at all).
 int CountResolvableAttrs(const VarMap& vm) {
   int n = 0;
   for (int a = 0; a < vm.num_attrs(); ++a) {
@@ -22,6 +17,30 @@ int CountResolvableAttrs(const VarMap& vm) {
   }
   return n;
 }
+
+Result<PartialTemporalOrder> MakeAnswerDelta(
+    const Specification& se, const std::vector<UserOracle::Answer>& answers) {
+  const int n_attrs = se.schema().size();
+  PartialTemporalOrder ot;
+  Tuple to(std::vector<Value>(n_attrs, Value::Null()));
+  for (const UserOracle::Answer& ans : answers) {
+    if (ans.attr < 0 || ans.attr >= n_attrs) {
+      return Status::InvalidArgument(
+          "answer names an invalid attribute index");
+    }
+    to[ans.attr] = ans.value;
+  }
+  const int to_index = se.instance().size();
+  ot.new_tuples.push_back(std::move(to));
+  for (const UserOracle::Answer& ans : answers) {
+    for (int t = 0; t < to_index; ++t) {
+      ot.orders.emplace_back(ans.attr, t, to_index);
+    }
+  }
+  return ot;
+}
+
+namespace {
 
 // The per-round encode/solve strategy behind the framework loop. Both
 // engines run the identical pipeline (validity → deduce → suggest →
@@ -276,22 +295,10 @@ Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
 
     // Materialize the answers as a new tuple t_o that dominates every
     // existing tuple on the answered attributes (§III Remark (1)).
-    PartialTemporalOrder ot;
-    Tuple to(std::vector<Value>(n_attrs, Value::Null()));
+    CCR_ASSIGN_OR_RETURN(const PartialTemporalOrder ot,
+                         MakeAnswerDelta(engine->spec(), answers));
     for (const auto& ans : answers) {
-      if (ans.attr < 0 || ans.attr >= n_attrs) {
-        return Status::InvalidArgument("oracle answered with an invalid "
-                                       "attribute index");
-      }
-      to[ans.attr] = ans.value;
       result.user_provided[ans.attr] = true;
-    }
-    const int to_index = engine->spec().instance().size();
-    ot.new_tuples.push_back(std::move(to));
-    for (const auto& ans : answers) {
-      for (int t = 0; t < to_index; ++t) {
-        ot.orders.emplace_back(ans.attr, t, to_index);
-      }
     }
     phase_start = engine->SolverStatsNow();
     CCR_RETURN_NOT_OK(engine->Extend(ot));

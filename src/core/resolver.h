@@ -124,6 +124,20 @@ struct ResolveResult {
 Result<ResolveResult> Resolve(const Specification& se, UserOracle* oracle,
                               const ResolveOptions& options = {});
 
+/// Materializes user answers as the delta Ot of §III Remark (1): one new
+/// tuple t_o carrying the validated values, ordered above every existing
+/// tuple of `se` on each answered attribute. Fails on an out-of-range
+/// attribute index. Shared by the framework loop and the service's ANSWER
+/// request, so both extend sessions with byte-identical deltas.
+Result<PartialTemporalOrder> MakeAnswerDelta(
+    const Specification& se, const std::vector<UserOracle::Answer>& answers);
+
+/// Attributes with a non-empty candidate domain — the denominator of the
+/// framework's "every resolvable attribute has a true value" stop test
+/// (step (3) of Fig. 4). Empty-domain attributes (all values null) have no
+/// candidate true value at all.
+int CountResolvableAttrs(const VarMap& vm);
+
 }  // namespace ccr
 
 #endif  // CCR_CORE_RESOLVER_H_

@@ -1,200 +1,19 @@
 #include "src/eval/result_io.h"
 
 #include <algorithm>
-#include <charconv>
-#include <cmath>
-#include <cstdio>
-#include <limits>
 #include <set>
+
+#include "src/common/json.h"
 
 namespace ccr {
 
 namespace {
 
-// --- writer ----------------------------------------------------------------
-
-// %.17g survives a double -> text -> double round trip exactly, and equal
-// doubles format to equal bytes — both load-bearing for the shard/merge
-// byte-identity check.
-void AppendDouble(double v, std::string* out) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  out->append(buf);
-}
-
-void AppendInt(int v, std::string* out) {
-  out->append(std::to_string(v));
-}
-
-class JsonWriter {
- public:
-  explicit JsonWriter(int indent) : indent_(indent) {}
-
-  std::string Take() && { return std::move(out_); }
-
-  void BeginObject() {
-    out_.push_back('{');
-    ++depth_;
-    first_ = true;
-  }
-  void EndObject() {
-    --depth_;
-    Newline();
-    out_.push_back('}');
-    first_ = false;
-  }
-  void Key(const char* name) {
-    if (!first_) out_.push_back(',');
-    Newline();
-    out_.push_back('"');
-    out_.append(name);
-    out_.append("\": ");
-    first_ = true;  // the value is the first token after the key
-  }
-  void Value(int v) {
-    AppendInt(v, &out_);
-    first_ = false;
-  }
-  void Value(double v) {
-    AppendDouble(v, &out_);
-    first_ = false;
-  }
-  void Value(const char* v) {
-    out_.push_back('"');
-    out_.append(v);
-    out_.push_back('"');
-    first_ = false;
-  }
-  /// Arrays are emitted inline (one line per element for objects is the
-  /// caller's concern; scalars stay compact).
-  void BeginArray() {
-    out_.push_back('[');
-    first_ = false;
-  }
-  void ArraySep(bool first) {
-    if (!first) out_.append(", ");
-  }
-  void EndArray() { out_.push_back(']'); }
-
- private:
-  void Newline() {
-    if (indent_ <= 0) return;
-    out_.push_back('\n');
-    out_.append(static_cast<size_t>(indent_ * depth_), ' ');
-  }
-
-  std::string out_;
-  int indent_;
-  int depth_ = 0;
-  bool first_ = true;
-};
-
-// --- parser ----------------------------------------------------------------
-
-// Minimal recursive-descent JSON reader, specialized to what the schema
-// needs: objects, arrays, numbers, strings, bools. Field handlers are
-// driven off the key so any field order parses; unknown keys are errors.
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  Status Fail(const std::string& what) {
-    return Status::InvalidArgument("ExperimentResult JSON: " + what +
-                                   " near offset " + std::to_string(pos_));
-  }
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  bool AtEnd() {
-    SkipWs();
-    return pos_ >= text_.size();
-  }
-
-  Status ParseString(std::string* out) {
-    if (!Consume('"')) return Fail("expected string");
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      if (text_[pos_] == '\\') return Fail("escape sequences unsupported");
-      out->push_back(text_[pos_++]);
-    }
-    if (pos_ >= text_.size()) return Fail("unterminated string");
-    ++pos_;  // closing quote
-    return Status::OK();
-  }
-
-  Status ParseDouble(double* out) {
-    SkipWs();
-    const char* begin = text_.data() + pos_;
-    const char* end = text_.data() + text_.size();
-    auto [ptr, ec] = std::from_chars(begin, end, *out);
-    if (ec != std::errc()) return Fail("expected number");
-    pos_ += static_cast<size_t>(ptr - begin);
-    return Status::OK();
-  }
-
-  Status ParseInt(int* out) {
-    double v = 0;
-    CCR_RETURN_NOT_OK(ParseDouble(&v));
-    // Range-check before the cast: double -> int of an out-of-range value
-    // is UB, so the guard must run on the double.
-    if (v < static_cast<double>(std::numeric_limits<int>::min()) ||
-        v > static_cast<double>(std::numeric_limits<int>::max()) ||
-        v != std::trunc(v)) {
-      return Fail("expected integer");
-    }
-    *out = static_cast<int>(v);
-    return Status::OK();
-  }
-
-  /// Parses `{ "k": ..., ... }`, calling `field(key)` for each value; the
-  /// callback must consume the value.
-  template <typename FieldFn>
-  Status ParseObject(FieldFn field) {
-    if (!Consume('{')) return Fail("expected '{'");
-    if (Consume('}')) return Status::OK();
-    while (true) {
-      std::string key;
-      CCR_RETURN_NOT_OK(ParseString(&key));
-      if (!Consume(':')) return Fail("expected ':'");
-      CCR_RETURN_NOT_OK(field(key));
-      if (Consume(',')) continue;
-      if (Consume('}')) return Status::OK();
-      return Fail("expected ',' or '}'");
-    }
-  }
-
-  /// Parses `[ ... ]`, calling `element()` once per element.
-  template <typename ElementFn>
-  Status ParseArray(ElementFn element) {
-    if (!Consume('[')) return Fail("expected '['");
-    if (Consume(']')) return Status::OK();
-    while (true) {
-      CCR_RETURN_NOT_OK(element());
-      if (Consume(',')) continue;
-      if (Consume(']')) return Status::OK();
-      return Fail("expected ',' or ']'");
-    }
-  }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-};
+// The writer/reader machinery lives in src/common/json.h (shared with the
+// session-snapshot and service-reply formats); this file only states the
+// ExperimentResult schema. The emitted bytes are identical to what the
+// pre-extraction local writer produced.
+using JsonWriter = json::Writer;
 
 constexpr char kSchemaName[] = "ccr.experiment_result";
 
@@ -254,8 +73,8 @@ std::string ExperimentResultToJson(const ExperimentResult& r,
   return out;
 }
 
-Result<ExperimentResult> ExperimentResultFromJson(std::string_view json) {
-  JsonReader rd(json);
+Result<ExperimentResult> ExperimentResultFromJson(std::string_view text) {
+  json::Reader rd(text, "ExperimentResult JSON");
   ExperimentResult out;
   std::string schema;
   int version = -1;

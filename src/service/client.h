@@ -1,0 +1,54 @@
+// Minimal blocking client for the framed protocol — what the tests, the
+// bench load generator, and the smoke scripts use to talk to ccr_serve.
+// One request in flight per client; use one client per thread.
+
+#ifndef CCR_SERVICE_CLIENT_H_
+#define CCR_SERVICE_CLIENT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/service/wire.h"
+
+namespace ccr {
+namespace service {
+
+/// \brief Blocking connection to a ccr_serve daemon.
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient() { Close(); }
+
+  ServiceClient(ServiceClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  ServiceClient& operator=(ServiceClient&&) = delete;
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects to "unix:/path" or "tcp:PORT" / "tcp:host:port" (host may
+  /// only be a dotted-quad IPv4 literal; default 127.0.0.1).
+  static Result<ServiceClient> Dial(const std::string& address);
+
+  /// Sends one request frame and blocks for its response frame. A decode
+  /// error or closed connection fails the call; the client is then dead.
+  Result<Frame> Call(const Frame& request);
+
+  /// Convenience wrapper: builds the request frame, returns the reply.
+  Result<Frame> Call(RequestType type, const std::string& session_id,
+                     const std::string& body);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  explicit ServiceClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace service
+}  // namespace ccr
+
+#endif  // CCR_SERVICE_CLIENT_H_

@@ -1,0 +1,151 @@
+#include "src/service/session_runtime.h"
+
+#include <utility>
+
+#include "src/common/json.h"
+#include "src/core/deduce.h"
+
+namespace ccr {
+namespace service {
+
+Result<sat::SolverOptions> SolverOptionsForPreset(const std::string& preset) {
+  sat::SolverOptions options;
+  if (preset == "modern" || preset == "sls") return options;
+  if (preset == "legacy") return sat::SolverOptions::LegacyHeuristics();
+  if (preset == "nogc") {
+    options.use_arena_gc = false;
+    options.use_bve = false;
+    return options;
+  }
+  if (preset == "nosls") {
+    options.use_sls_seeding = false;
+    options.use_sls_probing = false;
+    return options;
+  }
+  return Status::InvalidArgument("unknown solver preset '" + preset + "'");
+}
+
+Result<ResolveOptions> MakeResolveOptions(const EngineConfig& engine,
+                                          SessionScratch* scratch) {
+  ResolveOptions options;
+  CCR_ASSIGN_OR_RETURN(options.solver,
+                       SolverOptionsForPreset(engine.solver_preset));
+  options.naive_deduce = engine.naive_deduce;
+  options.scratch = scratch;
+  return options;
+}
+
+RoundOutcome RunSessionRound(ResolutionSession* session) {
+  RoundOutcome outcome;
+  const ValidityResult validity = session->CheckValidity();
+  outcome.valid = validity.valid;
+  if (!validity.valid) return outcome;
+
+  const VarMap& vm = session->instantiation().varmap;
+  const DeducedOrders od = session->Deduce();
+  const std::vector<int> true_idx = ExtractTrueValueIndices(vm, od);
+  int resolved_count = 0;
+  for (int a = 0; a < vm.num_attrs(); ++a) {
+    if (true_idx[a] >= 0) {
+      outcome.resolved.emplace_back(a, vm.domain(a)[true_idx[a]]);
+      ++resolved_count;
+    }
+  }
+  outcome.complete = resolved_count >= CountResolvableAttrs(vm);
+  if (outcome.complete) return outcome;
+
+  // Suggestion runs only when the round is incomplete — same as the
+  // framework loop, and load-bearing for replay: MakeSuggestion allocates
+  // solver-scope variables, so whether it ran is part of the state.
+  const std::vector<std::vector<int>> candidates = CandidateValues(vm, od);
+  const Suggestion suggestion = session->MakeSuggestion(candidates, true_idx);
+  outcome.has_suggestion = true;
+  outcome.suggested_attrs = suggestion.attrs;
+  outcome.derivable_attrs = suggestion.derivable_attrs;
+  outcome.suggested_values.reserve(suggestion.attrs.size());
+  for (size_t i = 0; i < suggestion.attrs.size(); ++i) {
+    std::vector<Value> values;
+    values.reserve(suggestion.candidates[i].size());
+    for (const int idx : suggestion.candidates[i]) {
+      values.push_back(vm.domain(suggestion.attrs[i])[idx]);
+    }
+    outcome.suggested_values.push_back(std::move(values));
+  }
+  return outcome;
+}
+
+std::string RoundOutcomeToJson(const RoundOutcome& outcome) {
+  json::Writer w(0);
+  w.BeginObject();
+  w.Key("valid");
+  w.Value(outcome.valid);
+  w.Key("complete");
+  w.Value(outcome.complete);
+  w.Key("resolved");
+  w.BeginArray();
+  for (size_t i = 0; i < outcome.resolved.size(); ++i) {
+    w.ArraySep(i == 0);
+    w.BeginArray();
+    w.Value(outcome.resolved[i].first);
+    w.ArraySep(false);
+    WriteValue(outcome.resolved[i].second, &w);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("suggest");
+  if (!outcome.has_suggestion) {
+    w.NullValue();
+  } else {
+    w.BeginObject();
+    w.Key("attrs");
+    w.BeginArray();
+    for (size_t i = 0; i < outcome.suggested_attrs.size(); ++i) {
+      w.ArraySep(i == 0);
+      w.Value(outcome.suggested_attrs[i]);
+    }
+    w.EndArray();
+    w.Key("candidates");
+    w.BeginArray();
+    for (size_t i = 0; i < outcome.suggested_values.size(); ++i) {
+      w.ArraySep(i == 0);
+      w.BeginArray();
+      for (size_t k = 0; k < outcome.suggested_values[i].size(); ++k) {
+        w.ArraySep(k == 0);
+        WriteValue(outcome.suggested_values[i][k], &w);
+      }
+      w.EndArray();
+    }
+    w.EndArray();
+    w.Key("derivable");
+    w.BeginArray();
+    for (size_t i = 0; i < outcome.derivable_attrs.size(); ++i) {
+      w.ArraySep(i == 0);
+      w.Value(outcome.derivable_attrs[i]);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+Result<ResolutionSession> ReplaySnapshot(const SessionSnapshot& snapshot,
+                                         SessionScratch* scratch) {
+  CCR_ASSIGN_OR_RETURN(const ResolveOptions options,
+                       MakeResolveOptions(snapshot.engine, scratch));
+  CCR_ASSIGN_OR_RETURN(ResolutionSession session,
+                       ResolutionSession::Create(snapshot.spec, options));
+  for (const SessionOp& op : snapshot.ops) {
+    if (op.kind == SessionOp::Kind::kRound) {
+      // Replies are discarded; the calls themselves recreate the solver's
+      // variable allocation and learnt state.
+      (void)RunSessionRound(&session);
+    } else {
+      CCR_RETURN_NOT_OK(session.ExtendWith(op.delta));
+    }
+  }
+  return session;
+}
+
+}  // namespace service
+}  // namespace ccr

@@ -1,0 +1,232 @@
+// Tests for the service wire format (src/service/wire.h): encode/decode
+// round-trips, incremental (byte-at-a-time) decoding, back-to-back frames
+// in one buffer, and the malformed-frame cases the server relies on to
+// fail closed — oversize length prefixes, short headers, and session-id
+// lengths that overrun the payload.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/service/wire.h"
+
+namespace ccr {
+namespace service {
+namespace {
+
+Frame MakeFrame(RequestType type, std::string session_id, std::string body) {
+  Frame f;
+  f.type = static_cast<uint8_t>(type);
+  f.session_id = std::move(session_id);
+  f.body = std::move(body);
+  return f;
+}
+
+void ExpectSameFrame(const Frame& want, const Frame& got) {
+  EXPECT_EQ(want.version, got.version);
+  EXPECT_EQ(want.type, got.type);
+  EXPECT_EQ(static_cast<int>(want.status), static_cast<int>(got.status));
+  EXPECT_EQ(want.session_id, got.session_id);
+  EXPECT_EQ(want.body, got.body);
+}
+
+TEST(WireTest, RoundTripsARequestFrame) {
+  Frame in = MakeFrame(RequestType::kRound, "session-42", "{\"x\": 1}");
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(in, &bytes));
+
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+  ExpectSameFrame(in, out);
+  EXPECT_FALSE(out.is_response());
+  EXPECT_EQ(out.request_type(), RequestType::kRound);
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Outcome::kNeedMore);
+}
+
+TEST(WireTest, RoundTripsAResponseWithStatus) {
+  Frame in;
+  in.type = static_cast<uint8_t>(RequestType::kOpen) | kResponseBit;
+  in.status = ErrorCode::kAlreadyExists;
+  in.session_id = "s";
+  in.body = "{\"error\": \"open of a live session\"}";
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(in, &bytes));
+
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+  ExpectSameFrame(in, out);
+  EXPECT_TRUE(out.is_response());
+  EXPECT_EQ(out.request_type(), RequestType::kOpen);
+}
+
+TEST(WireTest, RoundTripsEmptySessionIdAndBody) {
+  Frame in = MakeFrame(RequestType::kPing, "", "");
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(in, &bytes));
+  EXPECT_EQ(bytes.size(), 4u + kFrameHeaderBytes);
+
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+  ExpectSameFrame(in, out);
+}
+
+TEST(WireTest, BodyBytesAreOpaque) {
+  // The body is not inspected by the framing layer: NULs and high bytes
+  // must survive.
+  std::string body;
+  for (int i = 0; i < 256; ++i) body.push_back(static_cast<char>(i));
+  Frame in = MakeFrame(RequestType::kExtend, std::string("\x00\xff", 2), body);
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(in, &bytes));
+
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+  ExpectSameFrame(in, out);
+}
+
+TEST(WireTest, DecodesByteAtATime) {
+  Frame in = MakeFrame(RequestType::kAnswer, "abc", "payload body");
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(in, &bytes));
+
+  FrameDecoder dec;
+  Frame out;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    dec.Feed(std::string_view(&bytes[i], 1));
+    ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kNeedMore)
+        << "after byte " << i;
+  }
+  dec.Feed(std::string_view(&bytes[bytes.size() - 1], 1));
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+  ExpectSameFrame(in, out);
+}
+
+TEST(WireTest, DecodesBackToBackFramesFromOneBuffer) {
+  std::string bytes;
+  std::vector<Frame> in;
+  for (int i = 0; i < 16; ++i) {
+    in.push_back(MakeFrame(RequestType::kRound, "s" + std::to_string(i),
+                           std::string(static_cast<size_t>(i) * 31, 'x')));
+    ASSERT_TRUE(EncodeFrame(in.back(), &bytes));
+  }
+
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  Frame out;
+  for (const Frame& want : in) {
+    ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+    ExpectSameFrame(want, out);
+  }
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Outcome::kNeedMore);
+}
+
+TEST(WireTest, EncodeRejectsOversizeFrames) {
+  Frame in = MakeFrame(RequestType::kOpen, "s", "");
+  in.body.assign(kMaxFrameBytes, 'x');  // header pushes it over the cap
+  std::string bytes;
+  EXPECT_FALSE(EncodeFrame(in, &bytes));
+  EXPECT_TRUE(bytes.empty());
+}
+
+TEST(WireTest, EncodeRejectsOversizeSessionId) {
+  Frame in = MakeFrame(RequestType::kOpen, std::string(70000, 's'), "");
+  std::string bytes;
+  EXPECT_FALSE(EncodeFrame(in, &bytes));
+}
+
+TEST(WireTest, DecoderRejectsHostileLengthPrefix) {
+  // 0xFFFFFFFF little-endian: must fail as soon as the prefix is readable,
+  // not after buffering 4 GiB.
+  FrameDecoder dec;
+  dec.Feed(std::string(4, '\xff'));
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kError);
+  EXPECT_NE(dec.error().find("exceeds"), std::string::npos) << dec.error();
+  // The stream stays poisoned even if more bytes arrive.
+  dec.Feed(std::string(64, 'x'));
+  EXPECT_EQ(dec.Next(&out), FrameDecoder::Outcome::kError);
+}
+
+TEST(WireTest, DecoderRejectsPayloadShorterThanHeader) {
+  // payload_len = 2 cannot even hold the fixed header.
+  FrameDecoder dec;
+  dec.Feed(std::string("\x02\x00\x00\x00", 4));
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kError);
+  EXPECT_NE(dec.error().find("shorter"), std::string::npos) << dec.error();
+}
+
+TEST(WireTest, DecoderRejectsSessionIdOverrunningPayload) {
+  // A valid-looking header whose session_id_len promises more bytes than
+  // the payload carries.
+  std::string bytes;
+  bytes.append("\x06\x00\x00\x00", 4);  // payload: header (5) + 1 byte
+  bytes.push_back(static_cast<char>(kWireVersion));
+  bytes.push_back(static_cast<char>(RequestType::kPing));
+  bytes.push_back('\x00');              // status ok
+  bytes.append("\x40\x00", 2);          // session_id_len = 64 > 1 available
+  bytes.push_back('s');
+  FrameDecoder dec;
+  dec.Feed(bytes);
+  Frame out;
+  ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kError);
+  EXPECT_NE(dec.error().find("overruns"), std::string::npos) << dec.error();
+}
+
+TEST(WireTest, FuzzGarbagePrefixesNeverCrash) {
+  // Deterministic garbage: every 4-byte prefix either waits for more
+  // bytes, yields a (meaningless but well-formed) frame, or errors — it
+  // must never crash or loop.
+  uint32_t x = 0x9E3779B9u;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string bytes;
+    const size_t n = 1 + (x % 64);
+    for (size_t i = 0; i < n; ++i) {
+      x = x * 1664525u + 1013904223u;
+      bytes.push_back(static_cast<char>(x >> 24));
+    }
+    FrameDecoder dec;
+    dec.Feed(bytes);
+    Frame out;
+    for (int step = 0; step < 8; ++step) {
+      const FrameDecoder::Outcome got = dec.Next(&out);
+      if (got != FrameDecoder::Outcome::kFrame) break;
+    }
+  }
+}
+
+TEST(WireTest, LongLivedConnectionBufferDoesNotGrow) {
+  // After thousands of frames the decoder's internal buffer must stay
+  // bounded by (roughly) one frame, or long-lived connections leak.
+  Frame in = MakeFrame(RequestType::kPing, "s", std::string(128, 'p'));
+  std::string bytes;
+  ASSERT_TRUE(EncodeFrame(in, &bytes));
+  FrameDecoder dec;
+  Frame out;
+  for (int i = 0; i < 5000; ++i) {
+    dec.Feed(bytes);
+    ASSERT_EQ(dec.Next(&out), FrameDecoder::Outcome::kFrame);
+  }
+  ExpectSameFrame(in, out);
+}
+
+TEST(WireTest, ErrorCodeNamesAreStable) {
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOk), "ok");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kDeadlineExceeded),
+               "deadline_exceeded");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::kShuttingDown), "shutting_down");
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ccr

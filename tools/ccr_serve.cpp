@@ -1,0 +1,152 @@
+// ccr_serve: the resolution-as-a-service daemon. Keeps warm
+// ResolutionSessions resident up to a cap, evicts cold sessions to
+// snapshots and rehydrates them on demand, and serves the framed protocol
+// of docs/PROTOCOL.md on a Unix or TCP socket.
+//
+//   # loopback TCP on an OS-picked port (printed on the READY line)
+//   ccr_serve --listen tcp:0
+//   # unix socket, 4 workers, at most 128 warm sessions
+//   ccr_serve --listen unix:/tmp/ccr.sock --workers 4 --max-resident 128
+//
+// The daemon prints exactly one "READY <address>" line on stdout once the
+// socket is listening (scripts wait for it), then serves until SIGINT,
+// SIGTERM, or a SHUTDOWN frame, and exits 0 after printing final stats.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/ccr.h"
+
+namespace ccr {
+namespace service {
+namespace {
+
+Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: just request the stop; main does the real work.
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+void PrintUsage(std::FILE* to) {
+  std::fprintf(to,
+               "Usage: ccr_serve [flags]\n"
+               "\n"
+               "  --listen SPEC     unix:/path or tcp:PORT (default tcp:0;\n"
+               "                    port 0 = OS-picked, see the READY line)\n"
+               "  --workers N       request worker threads (default 2)\n"
+               "  --max-resident N  warm session cap; colder sessions are\n"
+               "                    evicted to snapshots (default 64)\n"
+               "  --queue-cap N     admission queue bound; a full queue\n"
+               "                    rejects with OVERLOADED (default 256)\n"
+               "  --deadline-ms N   default per-request deadline, 0 = none\n"
+               "                    (default 0)\n"
+               "  --max-conns N     concurrent connection cap (default 256)\n"
+               "  --help            this text\n"
+               "\n"
+               "Protocol: docs/PROTOCOL.md. Tuning: docs/OPERATIONS.md.\n");
+}
+
+int Main(int argc, char** argv) {
+  ServiceOptions service;
+  ServerOptions server_opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s wants a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    if (arg == "--listen") {
+      const char* v = next_value("--listen");
+      if (v == nullptr) return 2;
+      server_opts.listen = v;
+      continue;
+    }
+    if (arg == "--workers") {
+      const char* v = next_value("--workers");
+      if (v == nullptr) return 2;
+      service.workers = std::atoi(v);
+      continue;
+    }
+    if (arg == "--max-resident") {
+      const char* v = next_value("--max-resident");
+      if (v == nullptr) return 2;
+      service.max_resident = std::atoi(v);
+      continue;
+    }
+    if (arg == "--queue-cap") {
+      const char* v = next_value("--queue-cap");
+      if (v == nullptr) return 2;
+      service.queue_capacity = std::atoi(v);
+      continue;
+    }
+    if (arg == "--deadline-ms") {
+      const char* v = next_value("--deadline-ms");
+      if (v == nullptr) return 2;
+      service.default_deadline_ms = std::atoll(v);
+      continue;
+    }
+    if (arg == "--max-conns") {
+      const char* v = next_value("--max-conns");
+      if (v == nullptr) return 2;
+      server_opts.max_connections = std::atoi(v);
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+    PrintUsage(stderr);
+    return 2;
+  }
+  if (service.workers < 1 || service.max_resident < 1 ||
+      service.queue_capacity < 1 || server_opts.max_connections < 1) {
+    std::fprintf(stderr,
+                 "--workers, --max-resident, --queue-cap and --max-conns "
+                 "must be positive\n");
+    return 2;
+  }
+
+  SessionManager manager(service);
+  Server server(&manager, server_opts);
+  const Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "ccr_serve: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+
+  if (server.port() >= 0) {
+    std::printf("READY tcp:%d\n", server.port());
+  } else {
+    std::printf("READY %s\n", server_opts.listen.c_str());
+  }
+  std::fflush(stdout);
+
+  server.Wait();
+  server.Shutdown();
+  g_server = nullptr;
+
+  const ServiceReply stats =
+      manager.Call(ServiceRequest{RequestType::kStats, "", "", 0});
+  manager.Shutdown();
+  std::printf("STATS %s\n", stats.payload.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace ccr
+
+int main(int argc, char** argv) {
+  return ccr::service::Main(argc, argv);
+}
