@@ -28,13 +28,18 @@
 //     framework has, so the solver upgrade is what the ratio measures).
 //     Checks both configurations resolve identically: the pipeline
 //     consumes only SAT verdicts, so heuristics cannot change results.
-//   * "thread_scaling": RunExperiment entities/sec at 1 and N threads
-//     (N = CCR_BENCH_THREADS, default hardware_concurrency) over the same
-//     corpus, plus a determinism check of the pooled accuracy vectors. On
-//     a 1-core runner the comparison is meaningless (it measures thread
-//     overhead, not scaling), so the section reports "skipped": true
-//     instead of a bogus slowdown; a 2-core runner produces a real
-//     2-thread point.
+//   * "thread_scaling": both parallel tiers measured as real speedup
+//     curves at {1, 2, N} threads (N = CCR_BENCH_THREADS, default
+//     hardware_concurrency), each point the minimum of 3 reps. The
+//     "entity_pool" tier scales RunExperiment's batched work-stealing
+//     driver (entities across worker threads); the "portfolio" tier keeps
+//     the driver single-threaded and races diversified CDCL workers with
+//     clause sharing inside every solve. Each tier checks the pooled
+//     accuracy vectors are identical across all thread counts — threads
+//     may change wall time, never results. The section always runs and
+//     always reports measured numbers; on a 1-core machine the curves
+//     simply document the overhead (scripts/bench_smoke.sh only gates the
+//     speedup floor when the machine has >= 2 cores).
 //   * "allocation_pooling": the cross-entity SessionScratch effect — the
 //     same single-threaded batch with reuse_allocations off (every entity
 //     allocates its solver arena / watch lists / CNF pool from cold) vs.
@@ -327,36 +332,76 @@ int main() {
   const double ablation_speedup =
       modern_sat_ms > 0 ? legacy_sat_ms / modern_sat_ms : 0.0;
 
-  // --- batch driver thread scaling ---------------------------------------
+  // --- thread scaling: entity-pool and portfolio tiers -------------------
   const int n_threads = BenchThreads();
-  // On a single-core runner the N-thread run only measures scheduling
-  // overhead; skip it rather than reporting a misleading ~0.85x
-  // "slowdown" (scripts/bench_smoke.sh accepts the skip).
-  const bool scaling_skipped = std::thread::hardware_concurrency() == 1;
   const Dataset batch_ds = BigPersonCorpus(2 * n_threads * scale);
+  const int n_entities = static_cast<int>(batch_ds.entities.size());
+  // Each curve point is the minimum of kScalingReps timed runs: the
+  // per-point wall time sits inside scheduler jitter for one sample, and
+  // the min is the run least perturbed by the OS. The equivalence check
+  // uses the first rep's result; the runs are deterministic, so later
+  // reps would only repeat it.
+  constexpr int kScalingReps = 3;
+  auto time_experiment = [&](const ExperimentOptions& o,
+                             ExperimentResult* first) {
+    double best = 0;
+    for (int rep = 0; rep < kScalingReps; ++rep) {
+      timer.Restart();
+      ExperimentResult r = RunExperiment(batch_ds, o);
+      const double sec = timer.ElapsedMs() / 1000.0;
+      if (rep == 0) {
+        *first = std::move(r);
+        best = sec;
+      } else {
+        best = std::min(best, sec);
+      }
+    }
+    return best;
+  };
+
+  // Tier 1 — entity pool: the batched work-stealing driver spreads whole
+  // entities across worker threads.
   ExperimentOptions eopts;
   eopts.max_rounds = 3;
   eopts.answers_per_round = 1;
-
-  double t1_sec = 0;
-  double tn_sec = 0;
-  bool scaling_deterministic = true;
-  if (!scaling_skipped) {
-    eopts.num_threads = 1;
-    timer.Restart();
-    const ExperimentResult r1 = RunExperiment(batch_ds, eopts);
-    t1_sec = timer.ElapsedMs() / 1000.0;
-
+  ExperimentResult pool_r1, pool_r2, pool_rn;
+  eopts.num_threads = 1;
+  const double pool_t1 = time_experiment(eopts, &pool_r1);
+  eopts.num_threads = 2;
+  const double pool_t2 = time_experiment(eopts, &pool_r2);
+  double pool_tn = pool_t2;
+  if (n_threads > 2) {
     eopts.num_threads = n_threads;
-    timer.Restart();
-    const ExperimentResult rn = RunExperiment(batch_ds, eopts);
-    tn_sec = timer.ElapsedMs() / 1000.0;
-    scaling_deterministic = SameAccuracy(r1, rn);
+    pool_tn = time_experiment(eopts, &pool_rn);
+  } else {
+    pool_rn = pool_r2;
   }
+  const bool pool_identical =
+      SameAccuracy(pool_r1, pool_r2) && SameAccuracy(pool_r1, pool_rn);
 
-  const int n_entities = static_cast<int>(batch_ds.entities.size());
-  const double eps1 = t1_sec > 0 ? n_entities / t1_sec : 0.0;
-  const double epsn = tn_sec > 0 ? n_entities / tn_sec : 0.0;
+  // Tier 2 — portfolio: driver stays single-threaded; every solve races
+  // N diversified CDCL workers with learnt-clause sharing. Defer gate
+  // zero so the pipeline's small solves actually race (the production
+  // default would let them finish inside the sequential warm-up).
+  ExperimentOptions popts_scaling;
+  popts_scaling.max_rounds = 3;
+  popts_scaling.answers_per_round = 1;
+  popts_scaling.num_threads = 1;
+  popts_scaling.resolve.solver.portfolio_defer_conflicts = 0;
+  ExperimentResult port_r1, port_r2, port_rn;
+  popts_scaling.resolve.solver.portfolio_threads = 0;
+  const double port_t1 = time_experiment(popts_scaling, &port_r1);
+  popts_scaling.resolve.solver.portfolio_threads = 2;
+  const double port_t2 = time_experiment(popts_scaling, &port_r2);
+  double port_tn = port_t2;
+  if (n_threads > 2) {
+    popts_scaling.resolve.solver.portfolio_threads = n_threads;
+    port_tn = time_experiment(popts_scaling, &port_rn);
+  } else {
+    port_rn = port_r2;
+  }
+  const bool port_identical =
+      SameAccuracy(port_r1, port_r2) && SameAccuracy(port_r1, port_rn);
 
   // --- cross-entity allocation pooling (SessionScratch) ------------------
   ExperimentOptions popts;
@@ -525,20 +570,37 @@ int main() {
               ablation_identical ? "true" : "false");
   std::printf("  },\n");
   std::printf("  \"thread_scaling\": {\n");
-  if (scaling_skipped) {
-    std::printf("    \"skipped\": true,\n");
-    std::printf("    \"reason\": \"hardware_concurrency == 1\",\n");
-  }
   std::printf("    \"entities\": %d,\n", n_entities);
-  std::printf("    \"threads\": %d,\n", n_threads);
-  std::printf("    \"t1_seconds\": %.3f,\n", t1_sec);
-  std::printf("    \"tN_seconds\": %.3f,\n", tn_sec);
-  std::printf("    \"t1_entities_per_sec\": %.3f,\n", eps1);
-  std::printf("    \"tN_entities_per_sec\": %.3f,\n", epsn);
-  std::printf("    \"speedup\": %.3f,\n",
-              tn_sec > 0 ? t1_sec / tn_sec : 0.0);
+  std::printf("    \"threads_max\": %d,\n", n_threads);
+  std::printf("    \"reps\": %d,\n", kScalingReps);
+  std::printf("    \"entity_pool\": {\n");
+  std::printf("      \"t1_seconds\": %.3f,\n", pool_t1);
+  std::printf("      \"t2_seconds\": %.3f,\n", pool_t2);
+  std::printf("      \"tN_seconds\": %.3f,\n", pool_tn);
+  std::printf("      \"t1_entities_per_sec\": %.3f,\n",
+              pool_t1 > 0 ? n_entities / pool_t1 : 0.0);
+  std::printf("      \"tN_entities_per_sec\": %.3f,\n",
+              pool_tn > 0 ? n_entities / pool_tn : 0.0);
+  std::printf("      \"speedup_2\": %.3f,\n",
+              pool_t2 > 0 ? pool_t1 / pool_t2 : 0.0);
+  std::printf("      \"speedup_N\": %.3f,\n",
+              pool_tn > 0 ? pool_t1 / pool_tn : 0.0);
+  std::printf("      \"identical_results\": %s\n",
+              pool_identical ? "true" : "false");
+  std::printf("    },\n");
+  std::printf("    \"portfolio\": {\n");
+  std::printf("      \"t1_seconds\": %.3f,\n", port_t1);
+  std::printf("      \"t2_seconds\": %.3f,\n", port_t2);
+  std::printf("      \"tN_seconds\": %.3f,\n", port_tn);
+  std::printf("      \"speedup_2\": %.3f,\n",
+              port_t2 > 0 ? port_t1 / port_t2 : 0.0);
+  std::printf("      \"speedup_N\": %.3f,\n",
+              port_tn > 0 ? port_t1 / port_tn : 0.0);
+  std::printf("      \"identical_results\": %s\n",
+              port_identical ? "true" : "false");
+  std::printf("    },\n");
   std::printf("    \"deterministic\": %s\n",
-              scaling_deterministic ? "true" : "false");
+              pool_identical && port_identical ? "true" : "false");
   std::printf("  },\n");
   std::printf("  \"allocation_pooling\": {\n");
   std::printf("    \"entities\": %d,\n",

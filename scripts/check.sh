@@ -11,7 +11,10 @@
 #                      CI release job runs the whole suite with -O2/NDEBUG
 #                      so the perf-path code is tested as benchmarked)
 #   CCR_SANITIZE=ON    build everything with ASan+UBSan and run the whole
-#                      suite under the sanitizers (the CI sanitize job)
+#                      suite under the sanitizers (the CI sanitize job);
+#                      CCR_SANITIZE=thread builds with ThreadSanitizer
+#                      instead (the CI tsan job — races in the portfolio
+#                      ring / batched driver)
 #   CCR_CCACHE=ON      route compilation through ccache (CI caches it)
 #   CMAKE_GENERATOR    honored as usual (Ninja is used when available)
 

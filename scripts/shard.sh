@@ -24,6 +24,10 @@
 # runs --solver nosls (local-search seeding and MaxSAT upper-bound
 # probing off): SLS reorders which models CDCL finds and which bound the
 # Sinz search tries first, and none of it may move a result byte either.
+# A sixth gate runs --portfolio 2 (every solve races two diversified CDCL
+# workers with learnt-clause sharing, defer gate zero so the races really
+# fire): which worker wins and what clauses crossed the ring are
+# nondeterministic, the serialized result may not be.
 #
 # Usage: scripts/shard.sh [N] [build-dir]
 # Environment:
@@ -119,5 +123,17 @@ if cmp "$WORK_DIR/nosls_solver.json" "$WORK_DIR/single.json"; then
 else
   echo "FAIL: SLS-off result differs from the default run" >&2
   diff "$WORK_DIR/nosls_solver.json" "$WORK_DIR/single.json" >&2 || true
+  exit 1
+fi
+
+echo "Parallel-search exactness: single-threaded solves (default) vs" \
+     "--portfolio 2..."
+"$BIN" "${FLAGS[@]}" --portfolio 2 --no-timings \
+  --out "$WORK_DIR/portfolio.json"
+if cmp "$WORK_DIR/portfolio.json" "$WORK_DIR/single.json"; then
+  echo "OK: portfolio run is byte-identical to the single-threaded run"
+else
+  echo "FAIL: portfolio result differs from the single-threaded run" >&2
+  diff "$WORK_DIR/portfolio.json" "$WORK_DIR/single.json" >&2 || true
   exit 1
 fi

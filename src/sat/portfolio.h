@@ -1,0 +1,148 @@
+// Portfolio CDCL: N diverse solver configurations racing on one formula,
+// exchanging learnt clauses (the DataSync/ThreadControl design from
+// portfolio SAT solvers, adapted to this repo's incremental sessions).
+//
+// The master solver — the session's persistent solver, with its warm
+// heap, saved phases, learnt database and model cache — is worker 0 and
+// runs in the calling thread. Helpers are persistent Solver instances
+// owned by the team, kept formula-synchronized through the master's
+// mirror op log, each carrying a diversified SolverOptions derived from
+// the master's (restart policy, conflict-clause minimization, phase
+// saving, decay — the flag matrix the ablation suite already proves
+// verdict-neutral). Helpers skip inprocessing/BVE/SLS/model-cache work:
+// the master owns formula simplification, helpers only search.
+//
+// Clause sharing is a lock-light single-producer ring: each worker
+// appends small learnt clauses (units, binaries, low-LBD) to its own
+// fixed-capacity buffer and publishes them with one release-store;
+// consumers acquire-load the published count and keep private cursors,
+// importing only at restart boundaries, where every import is validated
+// (unknown/eliminated/frozen variables reject the clause) and integrated
+// through level-0 propagation. No locks, no reallocation while threads
+// run, no wraparound: a full buffer just stops exporting until the next
+// race resets it.
+//
+// Determinism contract (the headline guarantee, gated by the shard
+// byte-identity lanes and tests/portfolio_test.cpp): every shared clause
+// is implied by the formula, and the pipeline consumes SAT verdicts
+// only, so a portfolio race may change time-to-verdict — never a
+// verdict, a failed-assumption core's validity, or any resolution byte.
+
+#ifndef CCR_SAT_PORTFOLIO_H_
+#define CCR_SAT_PORTFOLIO_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/sat/literal.h"
+#include "src/sat/solver.h"
+
+namespace ccr::sat {
+
+/// Sharing caps: clauses longer than kShareMaxLits never enter the ring
+/// (the entry is fixed-size, and long clauses rarely help other
+/// configurations), and clauses longer than binary must carry a glue of
+/// at most kShareMaxGlue (low-LBD = likely to be reused).
+inline constexpr int kShareMaxLits = 8;
+inline constexpr int kShareMaxGlue = 4;
+/// Per-worker export capacity per race. A full buffer stops exporting —
+/// losing late exports costs only potential speedup, never correctness.
+inline constexpr size_t kShareBufCap = 1 << 12;
+
+/// One shared clause: literal indices plus the exporter's glue. POD and
+/// fixed-size so the ring never allocates while threads run.
+struct SharedClause {
+  int32_t lits[kShareMaxLits];
+  uint8_t size = 0;
+  uint8_t glue = 0;
+};
+
+/// Single-producer publish buffer. The producer fills entries_[n] and
+/// then release-stores published_ = n + 1; a consumer that acquire-loads
+/// published_ therefore sees every byte of every entry below it. Only
+/// the owning worker pushes; any worker may read.
+class alignas(64) ClauseExportBuf {
+ public:
+  /// Called between races (all worker threads joined): pre-sizes the
+  /// buffer so TryPush never reallocates concurrently.
+  void Reset() {
+    entries_.resize(kShareBufCap);
+    published_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Producer only. Returns false when the clause exceeds the caps or
+  /// the buffer is full.
+  bool TryPush(std::span<const Lit> lits, int glue) {
+    const size_t n = published_.load(std::memory_order_relaxed);
+    if (n >= entries_.size()) return false;
+    if (lits.size() > static_cast<size_t>(kShareMaxLits)) return false;
+    SharedClause& sc = entries_[n];
+    sc.size = static_cast<uint8_t>(lits.size());
+    sc.glue = static_cast<uint8_t>(std::min(glue, 255));
+    for (size_t i = 0; i < lits.size(); ++i) {
+      sc.lits[i] = lits[i].index();
+    }
+    published_.store(n + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t Published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+  const SharedClause& At(size_t i) const { return entries_[i]; }
+
+ private:
+  std::vector<SharedClause> entries_;
+  std::atomic<size_t> published_{0};
+};
+
+/// The per-race sharing fabric: one export buffer per worker plus a
+/// cursor matrix. cursors(consumer, producer) is read and written by the
+/// consumer's thread only.
+class ClauseShareRing {
+ public:
+  /// Called by the master with all threads joined.
+  void BeginRace(int workers);
+
+  int workers() const { return workers_; }
+  ClauseExportBuf& buf(int worker) { return *bufs_[worker]; }
+  size_t& cursor(int consumer, int producer) {
+    return cursors_[consumer][producer];
+  }
+
+ private:
+  int workers_ = 0;
+  // unique_ptr per buffer: ClauseExportBuf is neither movable (atomic)
+  // nor something adjacent workers should share a cache line of.
+  std::vector<std::unique_ptr<ClauseExportBuf>> bufs_;
+  std::vector<std::vector<size_t>> cursors_;
+};
+
+/// The helper solvers plus the sharing fabric, owned by the master
+/// solver and persistent across races (helpers keep their learnt
+/// databases and heuristic state warm between solves, exactly like the
+/// master).
+class PortfolioTeam {
+ public:
+  /// Creates workers - 1 helpers with DiversifiedOptions applied.
+  PortfolioTeam(const SolverOptions& master_options, int workers);
+
+  /// The helper configuration for worker index w (1-based: worker 0 is
+  /// the master and keeps its options untouched). Derived from the
+  /// master's options with portfolio/inprocessing/BVE/SLS/model-cache
+  /// off, then diversified over restart policy, minimization depth,
+  /// phase saving and activity decay.
+  static SolverOptions DiversifiedOptions(const SolverOptions& base, int w);
+
+  std::vector<std::unique_ptr<Solver>> helpers;
+  ClauseShareRing ring;
+};
+
+}  // namespace ccr::sat
+
+#endif  // CCR_SAT_PORTFOLIO_H_

@@ -6,6 +6,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/sat/portfolio.h"  // completes PortfolioTeam for team_
 
 namespace ccr::sat {
 
@@ -161,6 +162,13 @@ void Solver::Reset(SolverOptions options) {
   // The scratch buffers keep their capacity; only the salt is observable
   // (it drives the local-search RNG stream).
   sls_salt_ = 0;
+  mirror_log_.clear();
+  team_.reset();
+  stop_flag_ = nullptr;
+  share_ring_ = nullptr;
+  export_buf_ = nullptr;
+  share_worker_ = -1;
+  conflict_cap_ = -1;
 }
 
 Solver::ClauseRef Solver::AllocClause(const std::vector<Lit>& lits,
@@ -226,6 +234,14 @@ bool Solver::AddClause(std::vector<Lit> lits) {
     // Eliminated variables no longer exist in the formula; a caller that
     // mentions one after MarkEliminable took effect is a contract breach.
     CCR_CHECK(!eliminated_[l.var()]);
+  }
+  if (options_.portfolio_threads > 1) {
+    // Mirror the raw caller clause for the helper team (SyncTeam). BVE
+    // resolvents and shared-clause imports go through AddClauseInternal
+    // and are deliberately not logged: helpers derive their own.
+    MirrorOp op;
+    op.lits = lits;
+    mirror_log_.push_back(std::move(op));
   }
   return AddClauseInternal(std::move(lits));
 }
@@ -305,6 +321,10 @@ Solver::ClauseRef Solver::Propagate() {
   ClauseRef conflict = kRefUndef;
   const bool use_bins = options_.use_binary_watches;
   while (qhead_ < trail_.size()) {
+    // Portfolio interrupt: another worker won. Bail mid-trail — qhead_
+    // persists, so whatever is left propagates on the next call. Search
+    // re-checks the flag before trusting a "no conflict" answer.
+    if (StopRequested()) break;
     if (use_bins) {
       // Binary-first BFS: drain every pending binary implication before
       // touching a long clause. Binaries resolve with one contiguous list
@@ -719,6 +739,7 @@ Lit Solver::PickBranchLit() {
 
 void Solver::RecordLearnt(const std::vector<Lit>& learnt, int lbd) {
   stats_.lbd_sum += lbd;
+  if (export_buf_ != nullptr) MaybeExportLearnt(learnt, lbd);
   if (learnt.size() == 1) {
     UncheckedEnqueue(learnt[0], kRefUndef);
     return;
@@ -968,6 +989,13 @@ bool Solver::FreezeScope(Lit activation, std::span<const Var> vars) {
   if (!ok_) return false;
   CCR_DCHECK(DecisionLevel() == 0);
   InvalidateModelCache();
+  if (options_.portfolio_threads > 1) {
+    MirrorOp op;
+    op.is_freeze = true;
+    op.act = activation;
+    op.vars.assign(vars.begin(), vars.end());
+    mirror_log_.push_back(std::move(op));
+  }
   // One batched multi-literal pass: enqueue ¬activation and every ¬v,
   // then run a single propagation fixpoint — instead of one unit clause
   // (each with its own propagation round) per variable.
@@ -1059,7 +1087,15 @@ SolveResult Solver::Search(int64_t conflict_budget,
       continue;
     }
 
-    // No conflict.
+    // No conflict. A stop request must be honored HERE, before the
+    // all-assigned => kSat check below: an interrupted Propagate may have
+    // left the trail only partially propagated, and a verdict computed
+    // from it would be unsound. Conflicts found while stopping are still
+    // real (handled above); only the quiescent paths are cut short.
+    if (StopRequested()) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
     bool restart = false;
     if (options_.use_restarts) {
       if (options_.use_ema_restarts) {
@@ -1075,6 +1111,12 @@ SolveResult Solver::Search(int64_t conflict_budget,
     }
     if (options_.max_conflicts >= 0 &&
         stats_.conflicts >= options_.max_conflicts) {
+      CancelUntil(0);
+      return SolveResult::kUnknown;
+    }
+    // Portfolio defer gate: the master's solo phase ends here and
+    // SolveInternal escalates to a race.
+    if (conflict_cap_ >= 0 && stats_.conflicts >= conflict_cap_) {
       CancelUntil(0);
       return SolveResult::kUnknown;
     }
@@ -1967,7 +2009,22 @@ SolveResult Solver::SolveInternal(std::span<const Lit> assumptions) {
       return SolveResult::kSat;
     }
   }
-  const SolveResult r = SolveLoop(assumptions);
+  SolveResult r;
+  if (options_.portfolio_threads > 1 && ok_) {
+    // Defer gate: search alone first — most pipeline solves finish
+    // within a few hundred conflicts and a thread spawn would be pure
+    // overhead. Only a solve still undecided at the cap races.
+    conflict_cap_ = stats_.conflicts + options_.portfolio_defer_conflicts;
+    r = SolveLoop(assumptions);
+    conflict_cap_ = -1;
+    const bool out_of_budget = options_.max_conflicts >= 0 &&
+                               stats_.conflicts >= options_.max_conflicts;
+    if (r == SolveResult::kUnknown && !out_of_budget) {
+      r = PortfolioRace(assumptions);
+    }
+  } else {
+    r = SolveLoop(assumptions);
+  }
   last_call_ = stats_ - before;
   return r;
 }
@@ -1998,10 +2055,22 @@ SolveResult Solver::SolveLoop(std::span<const Lit> assumptions) {
       CancelUntil(0);
       return r;
     }
+    // Search returned kUnknown at level 0: a restart boundary, an
+    // exhausted budget, the portfolio defer gate, or a stop request.
+    if (StopRequested()) return SolveResult::kUnknown;
     if (options_.max_conflicts >= 0 &&
         stats_.conflicts >= options_.max_conflicts) {
       CancelUntil(0);
       return SolveResult::kUnknown;
+    }
+    if (conflict_cap_ >= 0 && stats_.conflicts >= conflict_cap_) {
+      return SolveResult::kUnknown;
+    }
+    // Racing: integrate the other workers' exports at this restart
+    // boundary, at decision level 0. An implied empty clause here is a
+    // sound UNSAT verdict.
+    if (share_ring_ != nullptr && !ImportSharedClauses()) {
+      return SolveResult::kUnsat;
     }
     ++restart_round;
     ++stats_.restarts;

@@ -23,10 +23,12 @@
 #ifndef CCR_SAT_SOLVER_H_
 #define CCR_SAT_SOLVER_H_
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -112,6 +114,23 @@ struct SolverOptions {
   double var_decay = 0.95;
   double clause_decay = 0.999;
   int64_t max_conflicts = -1;     // < 0 means unlimited
+  /// Portfolio search (src/sat/portfolio.{h,cc}): when > 1, a solve that
+  /// survives the defer gate below races this solver against
+  /// portfolio_threads - 1 helper solvers carrying diversified heuristic
+  /// configurations on a mirrored copy of the formula, all exchanging
+  /// learnt unit/binary/low-LBD clauses through a lock-light ring. The
+  /// first decisive worker wins; the rest are interrupted. Portfolio
+  /// search may only ever change time-to-verdict, never a verdict — every
+  /// shared clause is implied, so the existing byte-identity suites stay
+  /// the gate. 0 or 1 = off (the default; the service layer keeps it off
+  /// and lets the per-entity pool own the cores).
+  int portfolio_threads = 0;
+  /// Conflicts the master searches alone before a portfolio race spawns
+  /// threads. Most pipeline solves (model-cache misses included) finish
+  /// within a few hundred conflicts; paying a thread spawn for those
+  /// would be pure overhead. Only solves still undecided after this many
+  /// conflicts race.
+  int64_t portfolio_defer_conflicts = 512;
 
   /// The 2003-era configuration this repo started from: every
   /// modernization flag off. The single definition the ablation bench,
@@ -186,6 +205,17 @@ struct SolverStats {
   int64_t sls_seeded_models = 0;
   int64_t sls_probes = 0;
   int64_t sls_probe_wins = 0;
+  /// Portfolio search (portfolio_threads > 1): races that actually
+  /// spawned worker threads, shared clauses integrated by this solver and
+  /// its helpers (split by kind: units, binaries, longer low-LBD
+  /// clauses), and workers interrupted because another worker finished
+  /// first. Helper-side imports are folded into the master's counters
+  /// when a race ends, so RoundTrace attribution sees the whole team.
+  int64_t portfolio_races = 0;
+  int64_t imported_units = 0;
+  int64_t imported_bins = 0;
+  int64_t imported_lbd = 0;
+  int64_t cancelled_workers = 0;
 
   /// Component-wise difference (for per-call and per-phase deltas).
   SolverStats operator-(const SolverStats& o) const {
@@ -210,7 +240,12 @@ struct SolverStats {
             sls_flips - o.sls_flips,
             sls_seeded_models - o.sls_seeded_models,
             sls_probes - o.sls_probes,
-            sls_probe_wins - o.sls_probe_wins};
+            sls_probe_wins - o.sls_probe_wins,
+            portfolio_races - o.portfolio_races,
+            imported_units - o.imported_units,
+            imported_bins - o.imported_bins,
+            imported_lbd - o.imported_lbd,
+            cancelled_workers - o.cancelled_workers};
   }
 
   /// Component-wise sum (for pooling per-phase deltas across rounds and
@@ -238,6 +273,11 @@ struct SolverStats {
     sls_seeded_models += o.sls_seeded_models;
     sls_probes += o.sls_probes;
     sls_probe_wins += o.sls_probe_wins;
+    portfolio_races += o.portfolio_races;
+    imported_units += o.imported_units;
+    imported_bins += o.imported_bins;
+    imported_lbd += o.imported_lbd;
+    cancelled_workers += o.cancelled_workers;
     return *this;
   }
 };
@@ -277,6 +317,10 @@ struct LocalSearchResult {
   std::vector<uint8_t> model;
 };
 
+class ClauseExportBuf;  // src/sat/portfolio.h
+class ClauseShareRing;  // src/sat/portfolio.h
+class PortfolioTeam;    // src/sat/portfolio.h
+
 /// \brief Incremental CDCL solver.
 ///
 /// Typical use:
@@ -289,6 +333,9 @@ struct LocalSearchResult {
 class Solver {
  public:
   explicit Solver(SolverOptions options = {});
+  ~Solver();  // out of line: PortfolioTeam is incomplete here
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
 
   /// Allocates a fresh variable.
   Var NewVar();
@@ -400,6 +447,21 @@ class Solver {
   /// the decision heap (checked). Returns false if the solver became
   /// unsatisfiable. ScopedVars::Release is the caller.
   bool FreezeScope(Lit activation, std::span<const Var> vars);
+
+  /// Integrates one clause learnt by another portfolio worker (public so
+  /// the validation contract is directly testable). The clause must be
+  /// implied by the problem clauses; the solver must be at decision
+  /// level 0. Returns true iff the clause was integrated: a clause
+  /// mentioning an unknown, BVE-eliminated, or scope-frozen variable is
+  /// rejected outright (eliminated variables no longer exist in this
+  /// solver's formula, and frozen scopes may differ from the exporter's
+  /// view — rejection is always sound, an import never is unless it
+  /// validates). Satisfied clauses are skipped; false literals are
+  /// dropped by level-0 propagation, and a clause emptied that way proves
+  /// the formula UNSAT (IsUnsatForever() flips — the implied empty
+  /// clause). Imports never invalidate the cached-model pool: an implied
+  /// clause is satisfied by every genuine model already cached.
+  bool ImportSharedClause(std::span<const Lit> lits, int glue);
 
   /// Debug/test accessor: every learnt clause currently in the database
   /// (all tiers), plus every binary clause ever learnt into the implicit
@@ -528,6 +590,36 @@ class Solver {
     ClauseRef cref;
     Lit blocker;
   };
+
+  // --- portfolio search (implemented in src/sat/portfolio.cc) ----------
+  //
+  // SolveInternal intercepts a solve when options_.portfolio_threads > 1:
+  // the master first searches alone under a conflict cap (the defer
+  // gate); a solve still undecided then races the master (worker 0, this
+  // thread) against the lazily created helper team. During a race every
+  // worker exports small learnt clauses into its ring slot
+  // (MaybeExportLearnt, from RecordLearnt) and imports the other
+  // workers' exports at restart boundaries (ImportSharedClauses, from
+  // SolveLoop at level 0). The first decisive worker CASes itself the
+  // winner and raises the stop flag, which Search and Propagate poll.
+  SolveResult PortfolioRace(std::span<const Lit> assumptions);
+  // Creates the helper team on first use and replays the mirror op log
+  // (caller clauses + scope freezes recorded by AddClause/FreezeScope
+  // while portfolio is enabled) so every helper holds an equisatisfiable
+  // copy of the formula with identical variable ids.
+  void SyncTeam();
+  // Drains every other worker's export buffer through ImportSharedClause.
+  // Returns ok_ (false = an implied empty clause surfaced: UNSAT).
+  bool ImportSharedClauses();
+  void MaybeExportLearnt(const std::vector<Lit>& learnt, int lbd);
+  // Installs a winning helper's model as this solver's model_ (the helper
+  // formula is the mirrored original, so its model satisfies every master
+  // clause — BVE resolvents included, they are implied).
+  void AdoptExternalModel(const std::vector<Lbool>& m);
+  bool StopRequested() const {
+    return stop_flag_ != nullptr &&
+           stop_flag_->load(std::memory_order_relaxed) != 0;
+  }
 
   // --- search ----------------------------------------------------------
   SolveResult SolveInternal(std::span<const Lit> assumptions);
@@ -783,6 +875,30 @@ class Solver {
     std::vector<std::vector<Lit>> clauses;
   };
   std::vector<ElimRecord> elim_stack_;
+
+  // Portfolio state. The mirror op log records, while portfolio is
+  // enabled, every external AddClause and FreezeScope in call order —
+  // exactly what SyncTeam replays into the helpers before a race (BVE
+  // resolvents and imports go through AddClauseInternal and are
+  // deliberately NOT logged: helpers derive their own). The race-scoped
+  // pointers below are non-null only while this solver is a worker in a
+  // running race; Reset() tears all of it down.
+  struct MirrorOp {
+    bool is_freeze = false;
+    Lit act = kLitUndef;     // freeze only
+    std::vector<Lit> lits;   // clause literals
+    std::vector<Var> vars;   // freeze scope vars
+  };
+  std::vector<MirrorOp> mirror_log_;
+  std::unique_ptr<PortfolioTeam> team_;
+  const std::atomic<uint8_t>* stop_flag_ = nullptr;
+  ClauseShareRing* share_ring_ = nullptr;
+  ClauseExportBuf* export_buf_ = nullptr;
+  int share_worker_ = -1;
+  // Defer-gate conflict cap (absolute, against stats_.conflicts; < 0 =
+  // none). Unlike options_.max_conflicts this is transient: SolveInternal
+  // sets it for the master's solo phase and clears it before racing.
+  int64_t conflict_cap_ = -1;
 };
 
 /// \brief A batch of temporary variables and clauses on a persistent

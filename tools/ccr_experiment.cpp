@@ -42,6 +42,7 @@ struct CliOptions {
   double gamma_fraction = 1.0;
   std::string engine = "session";  // session (default) | legacy
   std::string solver = "modern";   // modern (default) | legacy heuristics
+  int portfolio = 0;               // >1 = portfolio workers per solve
   bool include_timings = true;
   bool reuse_allocations = true;
   bool solver_stats = false;
@@ -83,6 +84,11 @@ void PrintUsage(std::FILE* to) {
                "                    (modern with local-search seeding and\n"
                "                    MaxSAT probing off). Results are\n"
                "                    bit-identical in all cases.\n"
+               "  --portfolio N     race N diversified CDCL workers per\n"
+               "                    solve with learnt-clause sharing\n"
+               "                    (default 0 = single-threaded; sharing\n"
+               "                    changes time-to-verdict, never results,\n"
+               "                    so output stays bit-identical)\n"
                "  --solver-stats    dump pooled per-phase solver statistics\n"
                "                    (conflicts, binary propagations, glue,\n"
                "                    tier/inprocessing counters) on stderr\n"
@@ -199,7 +205,8 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
     }
     if (arg == "--entities" || arg == "--min-tuples" ||
         arg == "--max-tuples" || arg == "--threads" || arg == "--rounds" ||
-        arg == "--answers-per-round" || arg == "--seed") {
+        arg == "--answers-per-round" || arg == "--seed" ||
+        arg == "--portfolio") {
       const char* v = next_value(arg.c_str());
       if (v == nullptr) return 2;
       long long n = 0;
@@ -208,7 +215,7 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
       // would make RunExperiment size vectors with max_rounds + 1 < 0).
       long long min_ok = 1;
       if (arg == "--rounds" || arg == "--min-tuples" ||
-          arg == "--max-tuples" || arg == "--seed") {
+          arg == "--max-tuples" || arg == "--seed" || arg == "--portfolio") {
         min_ok = 0;
       }
       const long long max_ok =
@@ -228,6 +235,7 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
         opts->answers_per_round = static_cast<int>(n);
       }
       if (arg == "--seed") opts->seed = static_cast<uint64_t>(n);
+      if (arg == "--portfolio") opts->portfolio = static_cast<int>(n);
       continue;
     }
     if (arg == "--sigma" || arg == "--gamma") {
@@ -339,7 +347,10 @@ void DumpSolverStats(const ExperimentResult& r) {
                  "\"gc_runs\": %lld, \"gc_reclaimed_words\": %lld, "
                  "\"bve_eliminated\": %lld, \"bve_resolvents\": %lld, "
                  "\"sls_flips\": %lld, \"sls_seeded_models\": %lld, "
-                 "\"sls_probes\": %lld, \"sls_probe_wins\": %lld}%s\n",
+                 "\"sls_probes\": %lld, \"sls_probe_wins\": %lld, "
+                 "\"portfolio_races\": %lld, \"imported_units\": %lld, "
+                 "\"imported_bins\": %lld, \"imported_lbd\": %lld, "
+                 "\"cancelled_workers\": %lld}%s\n",
                  phase, static_cast<long long>(s.conflicts),
                  static_cast<long long>(s.decisions),
                  static_cast<long long>(s.propagations),
@@ -362,6 +373,11 @@ void DumpSolverStats(const ExperimentResult& r) {
                  static_cast<long long>(s.sls_seeded_models),
                  static_cast<long long>(s.sls_probes),
                  static_cast<long long>(s.sls_probe_wins),
+                 static_cast<long long>(s.portfolio_races),
+                 static_cast<long long>(s.imported_units),
+                 static_cast<long long>(s.imported_bins),
+                 static_cast<long long>(s.imported_lbd),
+                 static_cast<long long>(s.cancelled_workers),
                  last ? "" : ",");
   };
   std::fprintf(stderr, "{\n  \"solver_stats\": {\n");
@@ -399,6 +415,15 @@ int RunShard(const CliOptions& o) {
     // changes time-to-verdict. "sls" is an alias of the default.
     eopts.resolve.solver.use_sls_seeding = false;
     eopts.resolve.solver.use_sls_probing = false;
+  }
+  if (o.portfolio > 1) {
+    // The byte-identity lane for parallel search: verdicts may not depend
+    // on which worker wins or what clauses were shared. Defer gate zero
+    // makes every solve race — the pipeline's per-round solves are small
+    // enough that the default gate would let them all finish inside the
+    // sequential warm-up and the lane would test nothing.
+    eopts.resolve.solver.portfolio_threads = o.portfolio;
+    eopts.resolve.solver.portfolio_defer_conflicts = 0;
   }
   const std::vector<int> indices = ShardIndices(
       static_cast<int>(ds.entities.size()), o.shard, o.num_shards);
