@@ -60,8 +60,23 @@
 //     optimum), the summed rounds >= 1 Suggest and Deduce speedups, and
 //     checks the two configurations resolve identically — SLS only ever
 //     changes time-to-verdict. scripts/bench_smoke.sh gates
-//     identical_results, session_rebuilds == 0, and a Suggest speedup
-//     floor (CCR_BENCH_SLS_FLOOR).
+//     identical_results, session_rebuilds == 0, a Suggest speedup floor
+//     (CCR_BENCH_SLS_FLOOR), and a Deduce non-regression floor
+//     (CCR_BENCH_SLS_DEDUCE_FLOOR) — SLS phase publishing once made the
+//     entailment solves measurably slower, so the Deduce ratio may not
+//     silently sink again.
+//   * "deduce_backbone": the backbone Deduce engine (model sweeping,
+//     propagation-only screening, chunked UNSAT certification — see
+//     src/core/deduce.h) on vs off, over the same NaiveDeduce pipeline.
+//     Reports the summed rounds >= 1 Deduce-phase time for both, the
+//     Deduce-phase solver-call counters (queries, model prunes,
+//     propagation proofs, chunk solves), the solver-call reduction
+//     ratio, and checks the two configurations resolve identically —
+//     the entailed pair set is semantically determined, so the query
+//     strategy may never change it. scripts/bench_smoke.sh gates
+//     identical_results, session_rebuilds == 0, resolve_errors == 0, a
+//     speedup floor (CCR_BENCH_DEDUCE_FLOOR, default 1.5) and a >= 3x
+//     calls_reduction.
 //
 // CCR_BENCH_SCALE multiplies entity counts as in the other benches;
 // CCR_BENCH_TUPLES overrides the per-entity tuple floor (default 1000 —
@@ -522,6 +537,72 @@ int main() {
                 static_cast<double>(sls_probes)
           : 0.0;
 
+  // --- backbone Deduce: chunked entailment vs per-pair Lemma-6 -----------
+  // Same solver-bound NaiveDeduce pipeline as the SLS section; the two
+  // configurations differ ONLY in use_backbone_deduce. The counters say
+  // where the solver calls went: model sweeps and propagation proofs
+  // resolve pairs with no solve at all, and each chunk solve certifies up
+  // to kBackboneChunkSize entailments at once.
+  ResolveOptions bb_on;
+  bb_on.use_session = true;
+  bb_on.naive_deduce = true;
+  bb_on.max_rounds = 6;
+  ResolveOptions bb_off = bb_on;
+  bb_off.solver.use_backbone_deduce = false;
+
+  double bb_deduce_ms = 0, perpair_deduce_ms = 0;
+  int64_t bb_queries = 0, perpair_queries = 0;
+  int64_t bb_model_prunes = 0, bb_prop_proofs = 0, bb_chunk_solves = 0;
+  int64_t bb_rebuilds = 0;
+  int bb_errors = 0;
+  bool bb_identical = true;
+  constexpr int kBbReps = 3;
+  for (int rep = 0; rep < kBbReps; ++rep) {
+    double rep_bb_deduce = 0, rep_perpair_deduce = 0;
+    for (size_t e = 0; e < inc_ds.entities.size(); ++e) {
+      TruthOracle ob(inc_ds.entities[e].truth, /*answers_per_round=*/1);
+      TruthOracle op(inc_ds.entities[e].truth, /*answers_per_round=*/1);
+      auto rb = Resolve(inc_ds.MakeSpec(static_cast<int>(e)), &ob, bb_on);
+      auto rp = Resolve(inc_ds.MakeSpec(static_cast<int>(e)), &op, bb_off);
+      if (!rb.ok() || !rp.ok()) {
+        if (rep == 0) ++bb_errors;
+        continue;
+      }
+      if (rep == 0) {
+        bb_identical = bb_identical && SameResolution(*rb, *rp);
+      }
+      for (const RoundTrace& t : rb->trace) {
+        if (t.round >= 1) rep_bb_deduce += t.deduce_ms;
+        if (rep == 0) {
+          bb_rebuilds += t.num_rebuilds;
+          bb_queries += t.deduce_solver.deduce_queries;
+          bb_model_prunes += t.deduce_solver.deduce_model_prunes;
+          bb_prop_proofs += t.deduce_solver.deduce_propagation_proofs;
+          bb_chunk_solves += t.deduce_solver.deduce_chunk_solves;
+        }
+      }
+      for (const RoundTrace& t : rp->trace) {
+        if (t.round >= 1) rep_perpair_deduce += t.deduce_ms;
+        if (rep == 0) {
+          bb_rebuilds += t.num_rebuilds;
+          perpair_queries += t.deduce_solver.deduce_queries;
+        }
+      }
+    }
+    if (rep == 0 || rep_bb_deduce < bb_deduce_ms) {
+      bb_deduce_ms = rep_bb_deduce;
+    }
+    if (rep == 0 || rep_perpair_deduce < perpair_deduce_ms) {
+      perpair_deduce_ms = rep_perpair_deduce;
+    }
+  }
+  const double bb_speedup =
+      bb_deduce_ms > 0 ? perpair_deduce_ms / bb_deduce_ms : 0.0;
+  const double bb_calls_reduction =
+      bb_queries > 0 ? static_cast<double>(perpair_queries) /
+                           static_cast<double>(bb_queries)
+                     : 0.0;
+
   std::printf("{\n");
   std::printf("  \"bench\": \"throughput\",\n");
   std::printf("  \"scale\": %d,\n", scale);
@@ -664,6 +745,32 @@ int main() {
               static_cast<long long>(sls_rebuilds));
   std::printf("    \"identical_results\": %s\n",
               sls_identical ? "true" : "false");
+  std::printf("  },\n");
+  std::printf("  \"deduce_backbone\": {\n");
+  std::printf("    \"entities\": %d,\n",
+              static_cast<int>(inc_ds.entities.size()));
+  std::printf("    \"min_tuples_per_entity\": %d,\n", min_tuples);
+  std::printf("    \"pipeline\": \"naive_deduce\",\n");
+  std::printf("    \"backbone_round1plus_deduce_ms\": %.3f,\n", bb_deduce_ms);
+  std::printf("    \"perpair_round1plus_deduce_ms\": %.3f,\n",
+              perpair_deduce_ms);
+  std::printf("    \"speedup\": %.3f,\n", bb_speedup);
+  std::printf("    \"backbone_deduce_queries\": %lld,\n",
+              static_cast<long long>(bb_queries));
+  std::printf("    \"perpair_deduce_queries\": %lld,\n",
+              static_cast<long long>(perpair_queries));
+  std::printf("    \"calls_reduction\": %.3f,\n", bb_calls_reduction);
+  std::printf("    \"model_prunes\": %lld,\n",
+              static_cast<long long>(bb_model_prunes));
+  std::printf("    \"propagation_proofs\": %lld,\n",
+              static_cast<long long>(bb_prop_proofs));
+  std::printf("    \"chunk_solves\": %lld,\n",
+              static_cast<long long>(bb_chunk_solves));
+  std::printf("    \"resolve_errors\": %d,\n", bb_errors);
+  std::printf("    \"session_rebuilds\": %lld,\n",
+              static_cast<long long>(bb_rebuilds));
+  std::printf("    \"identical_results\": %s\n",
+              bb_identical ? "true" : "false");
   std::printf("  }\n");
   std::printf("}\n");
   return 0;

@@ -27,7 +27,12 @@
 # A sixth gate runs --portfolio 2 (every solve races two diversified CDCL
 # workers with learnt-clause sharing, defer gate zero so the races really
 # fire): which worker wins and what clauses crossed the ring are
-# nondeterministic, the serialized result may not be.
+# nondeterministic, the serialized result may not be. A seventh gate pins
+# the backbone Deduce engine: on the --deduce naive pipeline (where the
+# flag is live), the default chunked/model-sweeping engine and --solver
+# nobackbone (one Lemma-6 solve per pair) must serialize to the same
+# bytes — the entailed pair set is semantically determined, so how it is
+# queried may never move a result byte.
 #
 # Usage: scripts/shard.sh [N] [build-dir]
 # Environment:
@@ -135,5 +140,20 @@ if cmp "$WORK_DIR/portfolio.json" "$WORK_DIR/single.json"; then
 else
   echo "FAIL: portfolio result differs from the single-threaded run" >&2
   diff "$WORK_DIR/portfolio.json" "$WORK_DIR/single.json" >&2 || true
+  exit 1
+fi
+
+echo "Backbone-Deduce exactness: chunked entailment (default) vs" \
+     "--solver nobackbone, both on the --deduce naive pipeline..."
+"$BIN" "${FLAGS[@]}" --deduce naive --no-timings \
+  --out "$WORK_DIR/naive_backbone.json"
+"$BIN" "${FLAGS[@]}" --deduce naive --solver nobackbone --no-timings \
+  --out "$WORK_DIR/naive_perpair.json"
+if cmp "$WORK_DIR/naive_backbone.json" "$WORK_DIR/naive_perpair.json"; then
+  echo "OK: backbone Deduce run is byte-identical to the per-pair run"
+else
+  echo "FAIL: backbone Deduce result differs from the per-pair run" >&2
+  diff "$WORK_DIR/naive_backbone.json" "$WORK_DIR/naive_perpair.json" \
+    >&2 || true
   exit 1
 fi

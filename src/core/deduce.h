@@ -4,8 +4,19 @@
 // is recorded into the deduced temporal order Od and used to reduce the
 // formula, in O(|Φ(Se)|) total time. NaiveDeduce instead asks the SAT
 // solver, for every order variable x, whether Φ(Se) ∧ ¬x is unsatisfiable
-// — sound and complete for implied orders (Lemma 6) but orders of
-// magnitude slower (Fig. 8(b)).
+// — sound and complete for implied orders (Lemma 6) but, queried one
+// pair at a time, O(d²) solver calls per attribute (Fig. 8(b)).
+//
+// The Lemma-6 pipeline only needs the *set* of entailed pairs, not any
+// particular query order, so the classic backbone-computation playbook
+// applies: under SolverOptions::use_backbone_deduce (default) the
+// per-pair loop is replaced by a three-tier engine — model sweeping
+// (every SAT model refutes, in O(1) per pair, all candidates it assigns
+// false), propagation-only failed-literal screening, and chunked UNSAT
+// certification (one scoped clause ¬x₁ ∨ … ∨ ¬xₖ proves a whole chunk
+// entailed per solve). The entailed set is semantically determined, so
+// the verdicts — and every downstream byte — are identical to the naive
+// loop's; tests/deduce_backbone_test.cpp enforces exactly that.
 
 #ifndef CCR_CORE_DEDUCE_H_
 #define CCR_CORE_DEDUCE_H_
@@ -46,18 +57,36 @@ struct DeduceOptions {
   bool totality_propagation = true;
 };
 
+/// Reusable buffers for DeduceOrder's counter-based unit propagation.
+/// One instance per session (pooled through SessionScratch) stops the
+/// five per-call allocations from re-growing every round on every
+/// entity; a default-constructed local works identically for one-shot
+/// callers.
+struct DeduceScratch {
+  std::vector<int32_t> open_count;
+  std::vector<uint8_t> satisfied;
+  std::vector<std::vector<int32_t>> occur;
+  std::vector<sat::Lbool> value;
+  std::vector<sat::Lit> queue;
+};
+
 /// Algorithm DeduceOrder (Fig. 5): unit propagation over `phi`.
 /// `phi` must be the CNF built from `inst` (variable ids must agree).
 /// `assume` literals are seeded as established facts before propagation —
 /// the guarded session passes its active CFD guards, which re-arms the
 /// guarded rule clauses exactly as if they were emitted unguarded.
 /// Non-atom (auxiliary) variables propagate but are never recorded in Od.
+/// `scratch`, when given, supplies the propagation buffers (contents are
+/// overwritten; the result never depends on what was left in them).
 DeducedOrders DeduceOrder(const Instantiation& inst, const sat::Cnf& phi,
                           const DeduceOptions& options = {},
-                          std::span<const sat::Lit> assume = {});
+                          std::span<const sat::Lit> assume = {},
+                          DeduceScratch* scratch = nullptr);
 
 /// NaiveDeduce: one SAT call per order variable (incremental solver with
-/// one assumption per call). Exact per Lemma 6.
+/// one assumption per call). Exact per Lemma 6. Dispatches to the
+/// backbone engine when `options.use_backbone_deduce` is set, like
+/// NaiveDeduceShared.
 DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
                           const sat::SolverOptions& options = {});
 
@@ -66,9 +95,30 @@ DeducedOrders NaiveDeduce(const Instantiation& inst, const sat::Cnf& phi,
 /// deduction and rounds; learnt clauses carry over). `assumptions` is
 /// prepended to every implication check (active CFD guards). The outcome
 /// of each check is semantic — identical to the fresh-solver variant.
+/// When the solver was built with use_backbone_deduce (default), the
+/// per-pair loop is replaced by BackboneDeduceShared — same pair set,
+/// measured here with far fewer solver calls.
 DeducedOrders NaiveDeduceShared(const Instantiation& inst,
                                 sat::Solver* solver,
                                 std::span<const sat::Lit> assumptions = {});
+
+/// Default number of candidate pairs certified per chunked UNSAT solve.
+inline constexpr int kBackboneChunkSize = 64;
+
+/// The three-tier backbone engine behind NaiveDeduceShared (exposed so
+/// tests can pin degenerate chunk sizes): (1) sweep every SAT model —
+/// the initial validity model, the solver's cached witness ring, and
+/// each chunk counterexample — over the whole candidate frontier; (2)
+/// screen survivors with propagation-only failed-literal probes; (3)
+/// certify the rest in chunks of `chunk_size` via a scoped clause
+/// ¬x₁ ∨ … ∨ ¬xₖ — UNSAT proves every member entailed in one call, SAT
+/// yields a fresh sweep model falsifying at least one member, so the
+/// frontier strictly shrinks. Exact per Lemma 6: returns precisely the
+/// naive loop's pair set.
+DeducedOrders BackboneDeduceShared(const Instantiation& inst,
+                                   sat::Solver* solver,
+                                   std::span<const sat::Lit> assumptions = {},
+                                   int chunk_size = kBackboneChunkSize);
 
 /// True-value extraction (§V-B): value v is the true value of attribute A
 /// iff it dominates every other domain value of A in Od. Returns one

@@ -50,6 +50,11 @@ maxsat::WalkSatScratch* SessionScratch::AcquireWalkSatScratch() {
   return walksat_.get();
 }
 
+DeduceScratch* SessionScratch::AcquireDeduceScratch() {
+  if (deduce_ == nullptr) deduce_ = std::make_unique<DeduceScratch>();
+  return deduce_.get();
+}
+
 void ResolutionSession::AdoptScratchObjects() {
   if (options_.scratch != nullptr) {
     inst_ = options_.scratch->AcquireInstantiation();
@@ -85,8 +90,12 @@ Result<ResolutionSession> ResolutionSession::Create(
   if (s.options_.solver.use_inprocessing) s.solver_->PrimeInprocessing();
   // SLS warm start: a local-search pass under the active guards installs
   // a near-model into the saved phases (and, when fully satisfying, the
-  // witness ring) before the first validity solve ever runs.
-  if (s.options_.solver.use_sls_seeding) {
+  // witness ring) before the first validity solve ever runs. Skipped on
+  // NaiveDeduce pipelines: phases steered toward one arbitrary model
+  // bias every Lemma-6 entailment solve away from the easy
+  // counterexample models the Deduce phase lives on — a measured net
+  // slowdown (the bench sls_warm_start.deduce_speedup floor guards it).
+  if (s.options_.solver.use_sls_seeding && !s.options_.naive_deduce) {
     s.solver_->SeedFromLocalSearch(s.inst_->guard_assumptions());
   }
   s.last_encode_ms_ = timer.ElapsedMs();
@@ -103,10 +112,14 @@ ValidityResult ResolutionSession::CheckValidity() {
 }
 
 DeducedOrders ResolutionSession::Deduce() {
-  return options_.naive_deduce
-             ? NaiveDeduceShared(*inst_, solver_, inst_->guard_assumptions())
-             : DeduceOrder(*inst_, *cnf_, options_.deduce,
-                           inst_->guard_assumptions());
+  if (options_.naive_deduce) {
+    return NaiveDeduceShared(*inst_, solver_, inst_->guard_assumptions());
+  }
+  DeduceScratch* scratch = options_.scratch != nullptr
+                               ? options_.scratch->AcquireDeduceScratch()
+                               : nullptr;
+  return DeduceOrder(*inst_, *cnf_, options_.deduce,
+                     inst_->guard_assumptions(), scratch);
 }
 
 Suggestion ResolutionSession::MakeSuggestion(
@@ -146,8 +159,11 @@ Status ResolutionSession::ExtendWith(const PartialTemporalOrder& ot) {
   // Re-seed from local search: the phases still hold (near) the previous
   // round's model, so a short pass usually repairs it against the delta
   // and refills the witness ring the extension just invalidated — the
-  // next validity/deduce solves start warm.
-  if (options_.solver.use_sls_seeding && !solver_->IsUnsatForever()) {
+  // next validity/deduce solves start warm. Skipped on NaiveDeduce
+  // pipelines for the same reason as in Create: soft-biased phases
+  // poison the entailment sweep.
+  if (options_.solver.use_sls_seeding && !options_.naive_deduce &&
+      !solver_->IsUnsatForever()) {
     solver_->SeedFromLocalSearch(inst_->guard_assumptions());
   }
   ++incremental_extensions_;

@@ -71,6 +71,12 @@ class SessionScratch {
   /// between runs (RunWalkSat reinitializes them), so no reset is needed.
   maxsat::WalkSatScratch* AcquireWalkSatScratch();
 
+  /// DeduceOrder's unit-propagation buffers (occurrence lists, clause
+  /// counters, the literal queue), kept warm across every round of every
+  /// entity — DeduceOrder overwrites them from the CNF each call, so no
+  /// reset is needed.
+  DeduceScratch* AcquireDeduceScratch();
+
   /// Acquire calls that recycled a warm object instead of allocating.
   int64_t solver_reuses() const { return solver_reuses_; }
 
@@ -79,6 +85,7 @@ class SessionScratch {
   std::unique_ptr<sat::Cnf> cnf_;
   std::unique_ptr<Instantiation> inst_;
   std::unique_ptr<maxsat::WalkSatScratch> walksat_;
+  std::unique_ptr<DeduceScratch> deduce_;
   int64_t solver_reuses_ = 0;
 };
 

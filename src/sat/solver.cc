@@ -159,6 +159,7 @@ void Solver::Reset(SolverOptions options) {
   model_fresh_ = false;
   model_pool_.clear();
   model_pool_next_ = 0;
+  probe_base_level_ = -1;
   // The scratch buffers keep their capacity; only the salt is observable
   // (it drives the local-search RNG stream).
   sls_salt_ = 0;
@@ -1021,6 +1022,68 @@ bool Solver::FreezeScope(Lit activation, std::span<const Var> vars) {
   }
   ok_ = (Propagate() == kRefUndef);
   return ok_;
+}
+
+bool Solver::BeginProbe(std::span<const Lit> base) {
+  CCR_DCHECK(probe_base_level_ < 0);
+  if (!ok_) return false;
+  CancelUntil(0);
+  if (Propagate() != kRefUndef) {
+    ok_ = false;
+    return false;
+  }
+  // One decision level holds the whole base, so every failed-literal
+  // probe backtracks to here instead of re-propagating the guards.
+  trail_lim_.push_back(static_cast<int>(trail_.size()));
+  for (const Lit a : base) {
+    CCR_CHECK(a.var() < num_vars());
+    CCR_CHECK(!eliminated_[a.var()]);
+    const Lbool v = ValueOf(a);
+    if (v == Lbool::kFalse) {
+      CancelUntil(0);
+      return false;
+    }
+    if (v == Lbool::kUndef) UncheckedEnqueue(a, kRefUndef);
+  }
+  if (Propagate() != kRefUndef) {
+    CancelUntil(0);
+    return false;
+  }
+  probe_base_level_ = DecisionLevel();
+  return true;
+}
+
+bool Solver::ProbeLitFails(Lit p) {
+  CCR_DCHECK(probe_base_level_ >= 0);
+  CCR_DCHECK(DecisionLevel() == probe_base_level_);
+  const Lbool v = ValueOf(p);
+  if (v == Lbool::kTrue) return false;
+  if (v == Lbool::kFalse) return true;
+  trail_lim_.push_back(static_cast<int>(trail_.size()));
+  UncheckedEnqueue(p, kRefUndef);
+  const bool failed = Propagate() != kRefUndef;
+  CancelUntil(probe_base_level_);
+  return failed;
+}
+
+void Solver::EndProbe() {
+  CCR_DCHECK(probe_base_level_ >= 0);
+  CancelUntil(0);
+  probe_base_level_ = -1;
+}
+
+std::vector<const std::vector<Lbool>*> Solver::CachedWitnesses(
+    std::span<const Lit> assumptions) const {
+  std::vector<const std::vector<Lbool>*> out;
+  if (!options_.use_model_cache) return out;
+  if (model_fresh_ && !model_.empty() &&
+      ModelWitnesses(model_, assumptions)) {
+    out.push_back(&model_);
+  }
+  for (const std::vector<Lbool>& m : model_pool_) {
+    if (ModelWitnesses(m, assumptions)) out.push_back(&m);
+  }
+  return out;
 }
 
 std::vector<std::vector<Lit>> Solver::LearntClauses() const {

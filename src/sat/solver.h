@@ -100,6 +100,17 @@ struct SolverOptions {
   /// saved-phase array, and — when the assignment satisfies every problem
   /// clause — pushes it into the cached-model ring as a genuine witness.
   bool use_sls_seeding = true;
+  /// Backbone-style Deduce (src/core/deduce.cc): the per-pair Lemma-6
+  /// loop of NaiveDeduceShared is replaced by a three-tier backbone
+  /// engine — model sweeping (every SAT answer refutes all candidate
+  /// pairs its model assigns false, in O(1) per pair), propagation-only
+  /// failed-literal screening (assume ¬x, propagate, no search), and
+  /// chunked UNSAT certification (one scoped clause ¬x1 ∨ … ∨ ¬xk
+  /// certifies a whole chunk entailed in a single solve). The entailed
+  /// pair set is semantically determined (Lemma 6), so verdicts and all
+  /// downstream bytes are identical by construction; only the number of
+  /// solver calls changes. Off = one SolveWithAssumptions per pair.
+  bool use_backbone_deduce = true;
   /// use_sls_probing: IncrementalMaxSat runs the same local search over
   /// hard+soft clauses first and uses the number of unsatisfied softs as
   /// an upper bound u, verifying downward from u instead of climbing the
@@ -149,6 +160,7 @@ struct SolverOptions {
     o.use_bve = false;
     o.use_sls_seeding = false;
     o.use_sls_probing = false;
+    o.use_backbone_deduce = false;
     return o;
   }
 };
@@ -216,6 +228,18 @@ struct SolverStats {
   int64_t imported_bins = 0;
   int64_t imported_lbd = 0;
   int64_t cancelled_workers = 0;
+  /// Backbone-style Deduce (reported by src/core/deduce.cc via
+  /// RecordDeduce): solver calls issued by the Deduce phase (the initial
+  /// validity solve plus, per-pair under the naive loop or per-chunk
+  /// under use_backbone_deduce, every SolveWithAssumptions), candidate
+  /// pairs refuted by sweeping a SAT model (x_ij = false is a
+  /// non-entailment witness), pairs certified entailed by propagation
+  /// alone (guard-forced x_ij or a failed ¬x_ij probe), and chunked
+  /// certification solves (SAT and UNSAT alike).
+  int64_t deduce_queries = 0;
+  int64_t deduce_model_prunes = 0;
+  int64_t deduce_propagation_proofs = 0;
+  int64_t deduce_chunk_solves = 0;
 
   /// Component-wise difference (for per-call and per-phase deltas).
   SolverStats operator-(const SolverStats& o) const {
@@ -245,7 +269,11 @@ struct SolverStats {
             imported_units - o.imported_units,
             imported_bins - o.imported_bins,
             imported_lbd - o.imported_lbd,
-            cancelled_workers - o.cancelled_workers};
+            cancelled_workers - o.cancelled_workers,
+            deduce_queries - o.deduce_queries,
+            deduce_model_prunes - o.deduce_model_prunes,
+            deduce_propagation_proofs - o.deduce_propagation_proofs,
+            deduce_chunk_solves - o.deduce_chunk_solves};
   }
 
   /// Component-wise sum (for pooling per-phase deltas across rounds and
@@ -278,6 +306,10 @@ struct SolverStats {
     imported_bins += o.imported_bins;
     imported_lbd += o.imported_lbd;
     cancelled_workers += o.cancelled_workers;
+    deduce_queries += o.deduce_queries;
+    deduce_model_prunes += o.deduce_model_prunes;
+    deduce_propagation_proofs += o.deduce_propagation_proofs;
+    deduce_chunk_solves += o.deduce_chunk_solves;
     return *this;
   }
 };
@@ -439,6 +471,48 @@ class Solver {
     ++stats_.sls_probes;
     if (win) ++stats_.sls_probe_wins;
   }
+
+  /// Deduce-phase reporting (src/core/deduce.cc): entailment solver
+  /// calls issued, pairs refuted by model sweeping, pairs certified by
+  /// propagation alone, and chunked certification solves. Folded into
+  /// stats_ so RoundTrace per-phase deltas pick the counters up with no
+  /// extra plumbing.
+  void RecordDeduce(int64_t queries, int64_t model_prunes,
+                    int64_t propagation_proofs, int64_t chunk_solves) {
+    stats_.deduce_queries += queries;
+    stats_.deduce_model_prunes += model_prunes;
+    stats_.deduce_propagation_proofs += propagation_proofs;
+    stats_.deduce_chunk_solves += chunk_solves;
+  }
+
+  /// \name Propagation-only probing (no search, no learning)
+  ///
+  /// The backbone Deduce engine's tier-2 screen: BeginProbe backtracks
+  /// to level 0, opens ONE decision level, enqueues `base` (typically
+  /// the guard assumptions) and propagates it to fixpoint. While the
+  /// probe is open, ProbeValue reads the propagated value of a variable
+  /// — kTrue means base ∪ Φ unit-implies it — and ProbeLitFails(p)
+  /// pushes a nested level, enqueues `p`, propagates, and backtracks to
+  /// the probe base again: `true` (a conflict) is a unit-propagation
+  /// proof that Φ ∧ base entails ¬p. Nothing is learnt and nothing is
+  /// analyzed; the only side effect is phase saving, which never moves
+  /// a verdict. EndProbe backtracks to level 0. BeginProbe returns
+  /// false (and leaves the solver at level 0) when `base` is already
+  /// propagation-refuted.
+  /// @{
+  bool BeginProbe(std::span<const Lit> base);
+  Lbool ProbeValue(Var v) const { return assigns_[v]; }
+  bool ProbeLitFails(Lit p);
+  void EndProbe();
+  /// @}
+
+  /// Cached models (the fresh entry plus the witness ring) that satisfy
+  /// every literal of `assumptions` — each one a genuine model of the
+  /// current formula, usable as a bulk non-entailment witness by the
+  /// backbone Deduce sweep. Pointers are invalidated by the next solver
+  /// call of any kind; empty when use_model_cache is off.
+  std::vector<const std::vector<Lbool>*> CachedWitnesses(
+      std::span<const Lit> assumptions) const;
 
   /// Asserts ¬activation plus ¬v for every scope variable in one batch —
   /// a single multi-literal pass with ONE propagation round, instead of
@@ -782,6 +856,10 @@ class Solver {
   std::vector<std::vector<Lbool>> model_pool_;
   size_t model_pool_next_ = 0;
   bool model_fresh_ = false;
+
+  // Decision level of an open BeginProbe session; -1 when no probe is
+  // open. Guards the ProbeLitFails/EndProbe contract in debug builds.
+  int probe_base_level_ = -1;
 
   // Glucose-style restart state (per SolveLoop; seeded by the first
   // conflict's glue so the slow average never anchors at 0).

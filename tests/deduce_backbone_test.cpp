@@ -1,0 +1,252 @@
+// Equivalence and regression suite for the backbone Deduce engine
+// (src/core/deduce.cc): model sweeping + propagation-only screening +
+// chunked UNSAT certification must return exactly the per-pair Lemma-6
+// loop's entailed pair set — on the paper's fixtures, on randomized
+// corpora from all three generators, under the session's guard
+// assumptions (including across an ExtendWith round), and at degenerate
+// chunk sizes where a chunk UNSAT tempted by mid-chunk transitive
+// closure could over-claim. The pipeline-level byte-identity cross
+// against every solver-heuristic combination lives in
+// solver_modern_test.cpp (ablation mask bit 128).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "paper_fixture.h"
+#include "src/ccr.h"
+#include "src/core/session.h"
+#include "src/encode/cnf_builder.h"
+#include "src/eval/result_io.h"
+
+namespace ccr {
+namespace {
+
+using testing::EdithSpec;
+using testing::GeorgeSpec;
+using testing::PaperSchema;
+
+// Every deduced pair as (attr, less, more) — transitive closure
+// included, so two DeducedOrders are equal iff their sets are.
+using PairSet = std::set<std::tuple<int, int, int>>;
+
+PairSet ToPairSet(const DeducedOrders& od) {
+  PairSet out;
+  for (size_t a = 0; a < od.per_attr.size(); ++a) {
+    for (const auto& [u, v] : od.per_attr[a].Pairs()) {
+      out.insert({static_cast<int>(a), u, v});
+    }
+  }
+  return out;
+}
+
+// Runs the shared-solver Deduce on a fresh solver loaded with Φ(se).
+// `chunk` > 0 forces the backbone engine at that chunk size; otherwise
+// NaiveDeduceShared dispatches on `backbone`.
+DeducedOrders DeduceFresh(const Specification& se, bool backbone,
+                          int chunk = 0) {
+  auto inst = Instantiation::Build(se);
+  EXPECT_TRUE(inst.ok());
+  const sat::Cnf phi = BuildCnf(*inst);
+  sat::SolverOptions sopts;
+  sopts.use_backbone_deduce = backbone;
+  sat::Solver solver(sopts);
+  solver.AddCnf(phi);
+  if (chunk > 0) {
+    return BackboneDeduceShared(*inst, &solver, {}, chunk);
+  }
+  return NaiveDeduceShared(*inst, &solver);
+}
+
+Dataset SmallCorpus(const std::string& kind, uint64_t seed) {
+  if (kind == "nba") {
+    NbaOptions o;
+    o.num_entities = 4;
+    o.min_tuples = 3;
+    o.max_tuples = 8;
+    o.seed = seed;
+    return GenerateNba(o);
+  }
+  if (kind == "career") {
+    CareerOptions o;
+    o.num_entities = 4;
+    o.min_tuples = 3;
+    o.max_tuples = 8;
+    o.seed = seed;
+    return GenerateCareer(o);
+  }
+  PersonOptions o;
+  o.num_entities = 4;
+  o.min_tuples = 4;
+  o.max_tuples = 10;
+  o.seed = seed;
+  return GeneratePerson(o);
+}
+
+TEST(DeduceBackboneTest, PaperSpecsMatchPerPair) {
+  for (const Specification& se : {EdithSpec(), GeorgeSpec()}) {
+    const PairSet perpair = ToPairSet(DeduceFresh(se, /*backbone=*/false));
+    EXPECT_EQ(ToPairSet(DeduceFresh(se, /*backbone=*/true)), perpair);
+    EXPECT_FALSE(perpair.empty());
+  }
+}
+
+// The distilled over-claim regression: Edith's spec entails total orders
+// per attribute, so every chunk's members are riddled with pairs the
+// transitive closure of an earlier chunk (or an earlier member of the
+// SAME chunk) already settles. At chunk sizes 1..5 the engine rebuilds
+// its scoped clause constantly; a stale selector clause, or an UNSAT
+// verdict applied to pairs that were dropped from the chunk before the
+// solve, would claim pairs the per-pair loop refutes.
+TEST(DeduceBackboneTest, TinyChunksNeverOverclaim) {
+  for (const Specification& se : {EdithSpec(), GeorgeSpec()}) {
+    const PairSet perpair = ToPairSet(DeduceFresh(se, /*backbone=*/false));
+    for (const int chunk : {1, 2, 3, 5, 64}) {
+      EXPECT_EQ(ToPairSet(DeduceFresh(se, /*backbone=*/true, chunk)),
+                perpair)
+          << "chunk size " << chunk;
+    }
+  }
+}
+
+TEST(DeduceBackboneTest, RandomizedCorporaMatchPerPair) {
+  for (const std::string kind : {"person", "nba", "career"}) {
+    for (const uint64_t seed : {0xBB1u, 0xBB2u, 0xBB3u}) {
+      const Dataset ds = SmallCorpus(kind, seed);
+      for (size_t e = 0; e < ds.entities.size(); ++e) {
+        const Specification se = ds.MakeSpec(static_cast<int>(e));
+        const PairSet perpair =
+            ToPairSet(DeduceFresh(se, /*backbone=*/false));
+        EXPECT_EQ(ToPairSet(DeduceFresh(se, /*backbone=*/true)), perpair)
+            << kind << " seed " << seed << " entity " << e;
+        // Degenerate chunking crossed with random structure: the chunk
+        // rebuild logic sees frontiers of every residue size.
+        EXPECT_EQ(ToPairSet(DeduceFresh(se, /*backbone=*/true, 3)), perpair)
+            << kind << " seed " << seed << " entity " << e << " chunk 3";
+      }
+    }
+  }
+}
+
+// Under the session's guard assumptions: guarded grounding arms every
+// CFD rule clause through its guard literal, so the entailment checks
+// run under a non-empty assumption prefix, and the session solver's
+// witness ring (filled by CheckValidity) feeds the tier-1 sweep. An
+// ExtendWith round then retires guards and appends clauses — the two
+// engines must keep agreeing on the extended spec.
+TEST(DeduceBackboneTest, SessionDeduceUnderGuardsAndExtension) {
+  const Schema schema = PaperSchema();
+  ResolveOptions on;
+  on.naive_deduce = true;
+  ResolveOptions off = on;
+  off.solver.use_backbone_deduce = false;
+
+  auto s_on = ResolutionSession::Create(GeorgeSpec(), on);
+  auto s_off = ResolutionSession::Create(GeorgeSpec(), off);
+  ASSERT_TRUE(s_on.ok());
+  ASSERT_TRUE(s_off.ok());
+  EXPECT_EQ(s_on->CheckValidity().valid, s_off->CheckValidity().valid);
+  EXPECT_EQ(ToPairSet(s_on->Deduce()), ToPairSet(s_off->Deduce()));
+
+  // Example 9's user round: assert status = retired via a dominating
+  // user tuple; the cascade entails orders on five more attributes.
+  PartialTemporalOrder ot;
+  Tuple to(std::vector<Value>(schema.size(), Value::Null()));
+  to[schema.IndexOf("status")] = Value::Str("retired");
+  ot.new_tuples.push_back(to);
+  for (int t = 0; t < 3; ++t) {
+    ot.orders.emplace_back(schema.IndexOf("status"), t, 3);
+  }
+  ASSERT_TRUE(s_on->ExtendWith(ot).ok());
+  ASSERT_TRUE(s_off->ExtendWith(ot).ok());
+  const PairSet extended_on = ToPairSet(s_on->Deduce());
+  EXPECT_EQ(extended_on, ToPairSet(s_off->Deduce()));
+  EXPECT_FALSE(extended_on.empty());
+  EXPECT_EQ(s_on->rebuilds(), 0);
+  EXPECT_EQ(s_off->rebuilds(), 0);
+}
+
+// The point of the engine, counter-verified: on the same session
+// workload the backbone configuration must issue strictly fewer
+// Deduce-phase solver calls than the per-pair loop, and must attribute
+// the retired calls to model prunes / propagation proofs / chunked
+// certification (queries = 1 initial solve + chunk solves).
+TEST(DeduceBackboneTest, CountersShowCallsRetired) {
+  ResolveOptions on;
+  on.naive_deduce = true;
+  ResolveOptions off = on;
+  off.solver.use_backbone_deduce = false;
+
+  const Dataset ds = SmallCorpus("person", 0xC0DE);
+  int64_t on_queries = 0, off_queries = 0;
+  int64_t prunes = 0, proofs = 0, chunk_solves = 0;
+  for (size_t e = 0; e < ds.entities.size(); ++e) {
+    const Specification se = ds.MakeSpec(static_cast<int>(e));
+    auto s_on = ResolutionSession::Create(se, on);
+    auto s_off = ResolutionSession::Create(se, off);
+    ASSERT_TRUE(s_on.ok());
+    ASSERT_TRUE(s_off.ok());
+    const PairSet a = ToPairSet(s_on->Deduce());
+    const PairSet b = ToPairSet(s_off->Deduce());
+    EXPECT_EQ(a, b) << "entity " << e;
+    const sat::SolverStats& son = s_on->solver_stats();
+    const sat::SolverStats& soff = s_off->solver_stats();
+    on_queries += son.deduce_queries;
+    off_queries += soff.deduce_queries;
+    prunes += son.deduce_model_prunes;
+    proofs += son.deduce_propagation_proofs;
+    chunk_solves += son.deduce_chunk_solves;
+    EXPECT_EQ(son.deduce_queries, 1 + son.deduce_chunk_solves)
+        << "entity " << e;
+    EXPECT_EQ(soff.deduce_model_prunes, 0) << "entity " << e;
+    EXPECT_EQ(soff.deduce_chunk_solves, 0) << "entity " << e;
+  }
+  EXPECT_LT(on_queries, off_queries);
+  EXPECT_GT(prunes, 0);
+  EXPECT_GT(prunes + proofs + chunk_solves, 0);
+}
+
+// Pipeline-level byte identity on the naive_deduce pipeline, including
+// the oracle loop and serialization: the full RunExperiment output must
+// not move by a byte when the backbone engine is switched off.
+TEST(DeduceBackboneTest, ExperimentBytesIdenticalAcrossEngines) {
+  for (const std::string kind : {"person", "career"}) {
+    const Dataset ds = SmallCorpus(kind, 0xE5E);
+    ExperimentOptions eopts;
+    eopts.max_rounds = 3;
+    eopts.answers_per_round = 1;
+    eopts.resolve.naive_deduce = true;
+    ExperimentOptions eopts_off = eopts;
+    eopts_off.resolve.solver.use_backbone_deduce = false;
+    ResultJsonOptions jopts;
+    jopts.include_timings = false;
+    EXPECT_EQ(ExperimentResultToJson(RunExperiment(ds, eopts), jopts),
+              ExperimentResultToJson(RunExperiment(ds, eopts_off), jopts))
+        << kind;
+  }
+}
+
+// DeduceScratch reuse is observationally inert: a scratch dirtied by a
+// larger instance must leave a later, smaller instance's DeduceOrder
+// result untouched (the session pool hands one scratch to every round
+// of every entity on a worker thread).
+TEST(DeduceBackboneTest, DeduceScratchReuseIsInert) {
+  DeduceScratch scratch;
+  const auto run = [&](const Specification& se, DeduceScratch* s) {
+    auto inst = Instantiation::Build(se);
+    EXPECT_TRUE(inst.ok());
+    const sat::Cnf phi = BuildCnf(*inst);
+    return ToPairSet(DeduceOrder(*inst, phi, {}, {}, s));
+  };
+  const PairSet edith_fresh = run(EdithSpec(), nullptr);
+  const PairSet george_fresh = run(GeorgeSpec(), nullptr);
+  EXPECT_EQ(run(EdithSpec(), &scratch), edith_fresh);
+  EXPECT_EQ(run(GeorgeSpec(), &scratch), george_fresh);
+  EXPECT_EQ(run(EdithSpec(), &scratch), edith_fresh);
+}
+
+}  // namespace
+}  // namespace ccr

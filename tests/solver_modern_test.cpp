@@ -27,7 +27,8 @@ using sat::SolverOptions;
 using sat::Var;
 
 SolverOptions MakeOptions(bool bin, bool tiers, bool ema, bool ccmin,
-                          bool inproc, bool gc, bool sls, bool cache) {
+                          bool inproc, bool gc, bool sls, bool cache,
+                          bool backbone = true) {
   SolverOptions o;
   o.use_binary_watches = bin;
   o.use_lbd_tiers = tiers;
@@ -38,6 +39,7 @@ SolverOptions MakeOptions(bool bin, bool tiers, bool ema, bool ccmin,
   o.use_sls_seeding = sls;
   o.use_sls_probing = sls;
   o.use_model_cache = cache;
+  o.use_backbone_deduce = backbone;
   return o;
 }
 
@@ -69,33 +71,52 @@ Dataset AblationCorpus(const std::string& kind) {
 }
 
 std::string ResolveCorpusToJson(const Dataset& ds,
-                                const SolverOptions& solver) {
+                                const SolverOptions& solver,
+                                bool naive_deduce = false) {
   ExperimentOptions eopts;
   eopts.max_rounds = 3;
   eopts.answers_per_round = 1;
   eopts.resolve.solver = solver;
+  eopts.resolve.naive_deduce = naive_deduce;
   const ExperimentResult r = RunExperiment(ds, eopts);
   ResultJsonOptions jopts;
   jopts.include_timings = false;
   return ExperimentResultToJson(r, jopts);
 }
 
-// The CI gate of this PR: every combination of the seven modernization
-// flags — the six CDCL features plus the SLS warm-start bit, with the
+// The CI gate of this PR: every combination of the eight ablation axes —
+// the six CDCL features, the SLS warm-start bit, and (bit 128) the
+// backbone Deduce engine exercised on the NaiveDeduce pipeline, with the
 // witness cache on (the default) — plus the fully-legacy and
 // cache-less-modern spot checks produce byte-identical
-// ExperimentResults on all three corpora.
+// ExperimentResults on all three corpora. The high bit switches the
+// reference too: backbone-engine runs are compared against the per-pair
+// Lemma-6 loop (use_backbone_deduce off), the configuration whose
+// answers are one solver verdict per pair.
 TEST(SolverAblationEquivalenceTest, EveryOptionComboResolvesIdentically) {
   for (const std::string kind : {"person", "nba", "career"}) {
     const Dataset ds = AblationCorpus(kind);
     const std::string baseline = ResolveCorpusToJson(ds, SolverOptions{});
-    for (int mask = 0; mask < 128; ++mask) {
+    const std::string naive_baseline = ResolveCorpusToJson(
+        ds,
+        MakeOptions(true, true, true, true, true, true, true, true,
+                    /*backbone=*/false),
+        /*naive_deduce=*/true);
+    for (int mask = 0; mask < 256; ++mask) {
+      const bool naive = mask & 128;
       const SolverOptions opts =
           MakeOptions(mask & 1, mask & 2, mask & 4, mask & 8, mask & 16,
                       mask & 32, mask & 64, /*cache=*/true);
-      EXPECT_EQ(ResolveCorpusToJson(ds, opts), baseline)
+      EXPECT_EQ(ResolveCorpusToJson(ds, opts, naive),
+                naive ? naive_baseline : baseline)
           << kind << " flag mask " << mask;
     }
+    // Legacy heuristics carry backbone-off: the naive pipeline under
+    // them must still match the per-pair reference bytes.
+    EXPECT_EQ(ResolveCorpusToJson(ds, SolverOptions::LegacyHeuristics(),
+                                  /*naive_deduce=*/true),
+              naive_baseline)
+        << kind << " legacy, naive pipeline";
     // Witness-cache off: the one remaining axis, spot-checked against the
     // fully legacy (the shared LegacyHeuristics configuration) and fully
     // modern corners.

@@ -42,6 +42,7 @@ struct CliOptions {
   double gamma_fraction = 1.0;
   std::string engine = "session";  // session (default) | legacy
   std::string solver = "modern";   // modern (default) | legacy heuristics
+  std::string deduce = "fast";     // fast (default) | naive (Lemma-6 solves)
   int portfolio = 0;               // >1 = portfolio workers per solve
   bool include_timings = true;
   bool reuse_allocations = true;
@@ -82,8 +83,15 @@ void PrintUsage(std::FILE* to) {
                "                    off) | sls (alias of modern; the SLS\n"
                "                    warm starts are on by default) | nosls\n"
                "                    (modern with local-search seeding and\n"
-               "                    MaxSAT probing off). Results are\n"
+               "                    MaxSAT probing off) | nobackbone\n"
+               "                    (modern with the backbone Deduce engine\n"
+               "                    off: one Lemma-6 solve per pair on the\n"
+               "                    naive pipeline). Results are\n"
                "                    bit-identical in all cases.\n"
+               "  --deduce D        fast (Fig. 5 unit propagation, default)\n"
+               "                    | naive (exact Lemma-6 solver queries;\n"
+               "                    the solver-bound pipeline the backbone\n"
+               "                    engine accelerates)\n"
                "  --portfolio N     race N diversified CDCL workers per\n"
                "                    solve with learnt-clause sharing\n"
                "                    (default 0 = single-threaded; sharing\n"
@@ -163,13 +171,24 @@ int ParseArgs(int argc, char** argv, CliOptions* opts) {
       if (v == nullptr) return 2;
       if (std::string(v) != "modern" && std::string(v) != "legacy" &&
           std::string(v) != "nogc" && std::string(v) != "sls" &&
-          std::string(v) != "nosls") {
+          std::string(v) != "nosls" && std::string(v) != "nobackbone") {
         std::fprintf(stderr,
-                     "--solver wants modern|legacy|nogc|sls|nosls, got %s\n",
+                     "--solver wants modern|legacy|nogc|sls|nosls|nobackbone,"
+                     " got %s\n",
                      v);
         return 2;
       }
       opts->solver = v;
+      continue;
+    }
+    if (arg == "--deduce") {
+      const char* v = next_value("--deduce");
+      if (v == nullptr) return 2;
+      if (std::string(v) != "fast" && std::string(v) != "naive") {
+        std::fprintf(stderr, "--deduce wants fast|naive, got %s\n", v);
+        return 2;
+      }
+      opts->deduce = v;
       continue;
     }
     if (arg == "--dataset") {
@@ -350,7 +369,10 @@ void DumpSolverStats(const ExperimentResult& r) {
                  "\"sls_probes\": %lld, \"sls_probe_wins\": %lld, "
                  "\"portfolio_races\": %lld, \"imported_units\": %lld, "
                  "\"imported_bins\": %lld, \"imported_lbd\": %lld, "
-                 "\"cancelled_workers\": %lld}%s\n",
+                 "\"cancelled_workers\": %lld, \"deduce_queries\": %lld, "
+                 "\"deduce_model_prunes\": %lld, "
+                 "\"deduce_propagation_proofs\": %lld, "
+                 "\"deduce_chunk_solves\": %lld}%s\n",
                  phase, static_cast<long long>(s.conflicts),
                  static_cast<long long>(s.decisions),
                  static_cast<long long>(s.propagations),
@@ -378,6 +400,10 @@ void DumpSolverStats(const ExperimentResult& r) {
                  static_cast<long long>(s.imported_bins),
                  static_cast<long long>(s.imported_lbd),
                  static_cast<long long>(s.cancelled_workers),
+                 static_cast<long long>(s.deduce_queries),
+                 static_cast<long long>(s.deduce_model_prunes),
+                 static_cast<long long>(s.deduce_propagation_proofs),
+                 static_cast<long long>(s.deduce_chunk_solves),
                  last ? "" : ",");
   };
   std::fprintf(stderr, "{\n  \"solver_stats\": {\n");
@@ -415,7 +441,14 @@ int RunShard(const CliOptions& o) {
     // changes time-to-verdict. "sls" is an alias of the default.
     eopts.resolve.solver.use_sls_seeding = false;
     eopts.resolve.solver.use_sls_probing = false;
+  } else if (o.solver == "nobackbone") {
+    // Modern heuristics with the per-pair Lemma-6 loop instead of the
+    // backbone engine: the byte-identity lane that proves model sweeping
+    // and chunked certification return exactly the naive pair set. Only
+    // observable on the --deduce naive pipeline.
+    eopts.resolve.solver.use_backbone_deduce = false;
   }
+  eopts.resolve.naive_deduce = o.deduce == "naive";
   if (o.portfolio > 1) {
     // The byte-identity lane for parallel search: verdicts may not depend
     // on which worker wins or what clauses were shared. Defer gate zero
